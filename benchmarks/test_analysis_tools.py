@@ -1,0 +1,45 @@
+"""Analysis-tool benchmarks: calibration, Pareto, sensitivity sweeps.
+
+Not paper figures per se, but the instruments this reproduction adds on
+top: the Section-III calibration self-test, the design-space Pareto
+analysis, and the fine-grained crossover sweeps.
+"""
+
+from repro.evalharness.calibration import run_calibration_checks
+from repro.evalharness.pareto import design_space_analysis
+from repro.evalharness.sweeps import qos_sweep, signal_strength_sweep
+
+
+def test_calibration_self_check(once, record_table):
+    result = once(run_calibration_checks)
+    record_table("calibration", result["table"])
+    assert result["all_passed"]
+    assert len(result["checks"]) >= 14
+
+
+def test_pareto_design_space(once, record_table):
+    result = once(design_space_analysis, network_name="inception_v1")
+    record_table("pareto_inception_v1", result["table"])
+    # Most of the 66-action lattice is dominated; the oracle pick is the
+    # cheapest feasible frontier point.
+    assert result["dominated_fraction"] > 0.5
+    assert result["oracle_on_frontier"]
+
+
+def test_signal_crossover_sweep(once, record_table):
+    result = once(signal_strength_sweep, network_name="resnet_50")
+    record_table("sweep_signal_resnet50", result["table"])
+    # The cloud->edge-side crossover falls near the Table-I -80 dBm
+    # boundary (the radio knee the paper's state bins encode).
+    assert result["crossovers"]
+    first_after = result["crossovers"][0][1]
+    assert -90.0 <= first_after <= -70.0
+
+
+def test_qos_sweep(once, record_table):
+    result = once(qos_sweep, network_name="inception_v1")
+    record_table("sweep_qos_inception_v1", result["table"])
+    feasible = [r for r in result["rows"] if r["meets_qos"]]
+    energies = [r["energy_mj"] for r in feasible]
+    assert energies == sorted(energies, reverse=True) or \
+        all(b <= a * 1.001 for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,20 @@
+"""Fig. 2: PPW and latency of three NNs across edge-cloud targets."""
+
+from repro.evalharness.characterization import fig2_characterization
+
+
+def test_fig02(once, record_table):
+    result = once(fig2_characterization)
+    record_table("fig02_characterization", result["table"])
+
+    def best(device, network):
+        rows = [r for r in result["rows"]
+                if r["device"] == device and r["network"] == network]
+        feasible = [r for r in rows if r["meets_qos"]] or rows
+        return max(feasible, key=lambda r: r["ppw_norm"])["target"]
+
+    # Paper: light NNs favour the edge on high-end phones, heavy NNs the
+    # cloud; the mid-end phone must scale out even for light NNs.
+    assert best("mi8pro", "mobilenet_v3").startswith("local/")
+    assert best("mi8pro", "mobilebert").startswith("cloud/")
+    assert not best("moto_x_force", "inception_v1").startswith("local/")

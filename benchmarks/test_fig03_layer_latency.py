@@ -1,0 +1,24 @@
+"""Fig. 3: cumulative per-layer-type latency per mobile processor."""
+
+from repro.evalharness.characterization import fig3_layer_latency
+
+
+def test_fig03(once, record_table):
+    result = once(fig3_layer_latency)
+    record_table("fig03_layer_latency", result["table"])
+
+    def row(network, processor):
+        return next(r for r in result["rows"]
+                    if r["network"] == network
+                    and r["processor"] == processor)
+
+    # Paper: FC layers exhibit much longer latency on co-processors;
+    # other layers run longer on CPUs.  MobileNet v3 (FC-heavy) is thus
+    # CPU-friendly while Inception v1 favours co-processors.
+    assert row("mobilenet_v3", "gpu")["fc_ms"] \
+        > row("mobilenet_v3", "cpu")["fc_ms"]
+    assert row("inception_v1", "gpu")["conv_ms"] \
+        < row("inception_v1", "cpu")["conv_ms"]
+    assert row("inception_v1", "dsp")["total_norm_cpu"] < 1.0
+    assert row("mobilenet_v3", "dsp")["total_norm_cpu"] > \
+        row("inception_v1", "dsp")["total_norm_cpu"]

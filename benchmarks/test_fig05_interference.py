@@ -1,0 +1,16 @@
+"""Fig. 5: co-runner interference shifts the optimal execution target."""
+
+from repro.evalharness.characterization import fig5_interference
+
+
+def test_fig05(once, record_table):
+    result = once(fig5_interference)
+    record_table("fig05_interference", result["table"])
+
+    optima = {o["scenario"]: o["optimal_target"]
+              for o in result["optima"]}
+    # Paper: quiescent -> CPU; CPU-intensive co-runner -> a co-processor;
+    # memory-intensive co-runner -> off the device entirely.
+    assert optima["S1"].startswith("local/cpu")
+    assert not optima["S2"].startswith("local/cpu")
+    assert not optima["S3"].startswith("local/")

@@ -1,0 +1,16 @@
+"""Fig. 6: signal-strength variation shifts the optimal target."""
+
+from repro.evalharness.characterization import fig6_signal
+
+
+def test_fig06(once, record_table):
+    result = once(fig6_signal)
+    record_table("fig06_signal", result["table"])
+
+    optima = {o["scenario"]: o["optimal_target"]
+              for o in result["optima"]}
+    # Paper: strong signal -> cloud; weak Wi-Fi -> the locally connected
+    # edge device can still serve; both links weak -> back to the edge.
+    assert optima["S1"].startswith("cloud/")
+    assert optima["S4"].startswith("connected/")
+    assert optima["S4+S5"].startswith("local/")

@@ -1,0 +1,39 @@
+"""Fig. 9: main result — energy efficiency in static environments.
+
+Paper: AutoScale improves average PPW by 9.8x / 2.3x / 1.6x / 2.7x over
+Edge(CPU FP32) / Edge(Best) / Cloud / Connected Edge, by 1.9x / 1.2x over
+MOSAIC / NeuroSurgeon, and lands within 3.2% of Opt with a near-Opt QoS
+violation ratio.  Absolute factors depend on the authors' testbed; this
+benchmark asserts the ordering and prints the reproduced factors.
+"""
+
+from conftest import run_config
+
+from repro.evalharness.evaluation import fig9_main_results
+from repro.models.zoo import NETWORK_NAMES
+
+
+def test_fig09(once, record_table):
+    result = once(
+        fig9_main_results,
+        device_names=("mi8pro", "galaxy_s10e", "moto_x_force"),
+        network_names=NETWORK_NAMES,
+        scenarios=("S1", "S2", "S3", "S4", "S5"),
+        config=run_config(),
+        seed=0,
+    )
+    record_table("fig09_main", result["table"])
+
+    for device, summary in result["per_device"].items():
+        ppw = {s["scheduler"]: s["ppw_norm"] for s in summary}
+        violation = {s["scheduler"]: s["qos_violation_pct"]
+                     for s in summary}
+        # AutoScale beats every baseline and prior-work scheduler.
+        for name in ("edge_cpu_fp32", "edge_best", "cloud",
+                     "connected_edge", "mosaic", "neurosurgeon"):
+            assert ppw["autoscale"] > ppw[name], (device, name)
+        # ... and sits within 15% of the oracle.
+        assert ppw["autoscale"] > 0.85 * ppw["opt"], device
+        # QoS-violation ratio near Opt's (paper: within 1.9 points; we
+        # allow 12 at moderate training scale).
+        assert violation["autoscale"] <= violation["opt"] + 12.0, device

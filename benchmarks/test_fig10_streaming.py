@@ -1,0 +1,36 @@
+"""Fig. 10: the streaming (30 FPS) scenario.
+
+Paper: when inference intensity rises from non-streaming to streaming,
+energy efficiency and QoS-violation ratio degrade for everyone, but
+AutoScale still tracks Opt closely.
+"""
+
+from conftest import run_config
+
+from repro.evalharness.evaluation import fig10_streaming
+
+_VISION = ("mobilenet_v1", "mobilenet_v2", "mobilenet_v3",
+           "inception_v1", "resnet_50", "ssd_mobilenet_v1",
+           "ssd_mobilenet_v3")
+
+
+def test_fig10(once, record_table):
+    result = once(
+        fig10_streaming,
+        device_names=("mi8pro",),
+        network_names=_VISION,
+        scenarios=("S1", "S2", "S4"),
+        config=run_config(),
+        seed=0,
+    )
+    record_table("fig10_streaming", result["table"])
+
+    summary = {s["scheduler"]: s for s in result["per_device"]["mi8pro"]}
+    assert summary["autoscale"]["ppw_norm"] \
+        > summary["edge_cpu_fp32"]["ppw_norm"]
+    assert summary["autoscale"]["ppw_norm"] \
+        > 0.8 * summary["opt"]["ppw_norm"]
+    # The tighter 33.3 ms deadline raises violations vs Fig. 9's 50 ms,
+    # for AutoScale and Opt alike.
+    assert summary["autoscale"]["qos_violation_pct"] \
+        <= summary["edge_cpu_fp32"]["qos_violation_pct"]

@@ -1,0 +1,33 @@
+"""Fig. 11: adaptability to stochastic variance (static + dynamic envs).
+
+Paper: across S1-S5 and D1-D4, AutoScale improves average PPW by 10.7x /
+2.2x / 1.4x / 3.2x over Edge(CPU) / Edge(Best) / Cloud / Connected while
+matching Opt's QoS-violation ratio.
+"""
+
+from conftest import run_config
+
+from repro.evalharness.evaluation import DEFAULT_NETWORKS, fig11_dynamic
+
+
+def test_fig11(once, record_table):
+    result = once(
+        fig11_dynamic,
+        network_names=DEFAULT_NETWORKS,
+        scenarios=("S1", "S2", "S3", "S4", "S5",
+                   "D1", "D2", "D3", "D4"),
+        config=run_config(),
+        seed=0,
+    )
+    record_table("fig11_dynamic", result["table"])
+
+    overall = {s["scheduler"]: s["ppw_norm"] for s in result["overall"]}
+    for name in ("edge_cpu_fp32", "edge_best", "cloud", "connected_edge"):
+        assert overall["autoscale"] > overall[name], name
+    assert overall["autoscale"] > 0.8 * overall["opt"]
+
+    # The advantage holds per scenario, including every dynamic one.
+    for scenario in ("D1", "D2", "D3", "D4"):
+        entries = {e["scheduler"]: e["ppw_norm"]
+                   for e in result["per_scenario"][scenario]}
+        assert entries["autoscale"] > entries["edge_cpu_fp32"], scenario

@@ -1,0 +1,31 @@
+"""Fig. 12: adaptability to inference-quality (accuracy) targets.
+
+Paper: higher accuracy targets forbid low-precision on-device execution,
+slightly degrading energy efficiency and QoS-violation ratio; below the
+50% threshold nothing changes because the most efficient targets already
+exceed 50% accuracy.
+"""
+
+from conftest import run_config
+
+from repro.evalharness.evaluation import fig12_accuracy_targets
+
+
+def test_fig12(once, record_table):
+    result = once(
+        fig12_accuracy_targets,
+        network_names=("mobilenet_v3", "inception_v1", "resnet_50"),
+        targets=(None, 50.0, 65.0, 70.0),
+        config=run_config(),
+        seed=0,
+    )
+    record_table("fig12_accuracy_targets", result["table"])
+
+    ppw = {label: entry["ppw_norm"]
+           for label, entry in result["results"].items()}
+    # Relaxing the target can only help (up to training noise).
+    assert ppw["none"] > 0.9 * ppw["70"]
+    assert ppw["50"] > 0.9 * ppw["70"]
+    # "none" and "50" behave alike: the efficient targets already beat
+    # 50% accuracy (the paper's observation).
+    assert abs(ppw["none"] - ppw["50"]) / ppw["none"] < 0.35

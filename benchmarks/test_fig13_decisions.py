@@ -1,0 +1,43 @@
+"""Fig. 13: execution-scaling decision distribution + prediction accuracy.
+
+Paper: AutoScale matches Opt's decision distribution on all three phones
+with 97.9% average prediction accuracy (mispredictions only where the
+energy difference is below 1%).
+"""
+
+from conftest import run_config
+
+from repro.evalharness.evaluation import DEFAULT_NETWORKS, fig13_decisions
+
+
+def test_fig13(once, record_table):
+    result = once(
+        fig13_decisions,
+        device_names=("mi8pro", "galaxy_s10e", "moto_x_force"),
+        network_names=DEFAULT_NETWORKS,
+        scenarios=("S1", "S4"),
+        config=run_config(),
+        seed=0,
+    )
+    lines = [result["table"]]
+    for device, entry in result["per_device"].items():
+        lines.append(
+            f"{device}: prediction accuracy "
+            f"{entry['prediction_accuracy_pct']:.1f}%"
+        )
+    record_table("fig13_decisions", "\n".join(lines))
+
+    for device, entry in result["per_device"].items():
+        # Paper: 97.9% on average; moderate training scale -> >=70%.
+        assert entry["prediction_accuracy_pct"] >= 70.0, device
+        # The distribution tracks Opt's per location.
+        for location in ("local", "cloud", "connected"):
+            assert abs(entry["autoscale_shares"][location]
+                       - entry["opt_shares"][location]) <= 0.35, \
+                (device, location)
+
+    # The mid-end phone offloads more than the high-end one (Fig. 13's
+    # visible structure).
+    mi8 = result["per_device"]["mi8pro"]["autoscale_shares"]
+    moto = result["per_device"]["moto_x_force"]["autoscale_shares"]
+    assert moto["local"] <= mi8["local"] + 0.05

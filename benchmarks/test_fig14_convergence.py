@@ -1,0 +1,35 @@
+"""Fig. 14: reward convergence and learning transfer.
+
+Paper: training from scratch converges in ~40-50 inference runs; reusing
+a Mi8Pro-trained model on the Galaxy S10e and Moto X Force cuts training
+time by 21.2% on average.
+"""
+
+import numpy as np
+from conftest import PAPER_SCALE
+
+from repro.evalharness.evaluation import DEFAULT_NETWORKS, fig14_convergence
+
+
+def test_fig14(once, record_table):
+    result = once(
+        fig14_convergence,
+        transfer_devices=("galaxy_s10e", "moto_x_force"),
+        network_names=DEFAULT_NETWORKS,
+        train_runs=100 if PAPER_SCALE else 80,
+        seed=0,
+    )
+    lines = [result["table"],
+             f"transfer training-time reduction: "
+             f"{result['transfer_time_reduction_pct']:.1f}% "
+             f"(paper: 21.2%)"]
+    record_table("fig14_convergence", "\n".join(lines))
+
+    scratch = [episodes for (device, mode, _), episodes
+               in result["convergence"].items()
+               if device == "mi8pro" and mode == "scratch"]
+    # Paper: convergence in roughly 40-50 runs; allow a generous band.
+    assert 10 <= np.mean(scratch) <= 75
+
+    # Transfer accelerates convergence on average.
+    assert result["transfer_time_reduction_pct"] > 0.0

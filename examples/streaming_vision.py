@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Streaming object detection on a commuter's phone.
+
+The scenario the paper's introduction motivates: a live 30 FPS camera
+feed runs SSD-MobileNet detection while the user browses the web (a
+bursty co-runner, Table IV's D2) and walks through varying Wi-Fi coverage
+(a smooth random-walk RSSI).  AutoScale must keep re-deciding where each
+frame's inference runs as the interference and the signal move.
+
+The script trains online (AutoScale never stops learning in a dynamic
+environment) and prints a timeline of decisions, showing the engine
+migrating between the local processors, the tablet, and the cloud as
+conditions change.
+
+Run:  python examples/streaming_vision.py
+"""
+
+from collections import Counter
+
+from repro import AutoScale, EdgeCloudEnvironment, build_device, \
+    build_network, use_case_for
+from repro.env.scenarios import Scenario
+from repro.interference.corunner import web_browser
+from repro.wireless.signal import ConstantSignal, RandomWalkSignal
+
+
+def commuter_scenario():
+    """Web browsing + a drifting Wi-Fi signal, steady Wi-Fi Direct."""
+    return Scenario(
+        name="commute",
+        description="browsing co-runner, walking through Wi-Fi coverage",
+        corunner=web_browser(),
+        wlan_signal=RandomWalkSignal(mean_dbm=-74.0, std_db=8.0,
+                                     reversion=0.08),
+        p2p_signal=ConstantSignal(-58.0),
+        dynamic=True,
+    )
+
+
+def main():
+    env = EdgeCloudEnvironment(build_device("mi8pro"),
+                               scenario=commuter_scenario(), seed=7)
+    engine = AutoScale(env, seed=7)
+    use_case = use_case_for(build_network("ssd_mobilenet_v2"),
+                            streaming=True)
+    print(f"use case: {use_case.name}, QoS {use_case.qos_ms:.1f} ms "
+          f"(30 FPS)")
+    print()
+
+    warmup = 150
+    print(f"warming up for {warmup} frames ...")
+    engine.run(use_case, warmup)
+
+    print(f"{'frame':>6s} {'wifi':>7s} {'co-cpu':>7s} "
+          f"{'decision':24s} {'lat ms':>7s} {'E mJ':>7s} {'QoS':>4s}")
+    decisions = Counter()
+    violations = 0
+    frames = 120
+    for frame in range(frames):
+        step = engine.step(use_case)
+        result = step.result
+        observation = env.observe()
+        decisions[step.target_key.split("/")[0]] += 1
+        ok = result.latency_ms <= use_case.qos_ms
+        violations += int(not ok)
+        if frame % 10 == 0:
+            print(f"{frame:6d} {observation.rssi_wlan_dbm:6.1f}d "
+                  f"{observation.cpu_util * 100:6.1f}% "
+                  f"{step.target_key:24s} {result.latency_ms:7.1f} "
+                  f"{result.energy_mj:7.1f} {'ok' if ok else 'VIO':>4s}")
+
+    print()
+    total = sum(decisions.values())
+    print("decision mix over the episode:")
+    for location, count in decisions.most_common():
+        print(f"  {location:10s} {count / total * 100:5.1f}%")
+    print(f"QoS violations: {violations / frames * 100:.1f}% of frames")
+    print()
+    print("30 FPS object detection is genuinely hard: during browser")
+    print("bursts *no* target in the system makes the 33.3 ms deadline")
+    print("(the paper's Fig. 10 shows the same violation jump), so")
+    print("AutoScale falls back to eq. 5's violating branch and keeps")
+    print("the energy bill minimal while the interference lasts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Offloading under a weakening Wi-Fi signal: two very different stories.
+
+Both MobileBERT translation and ResNet-50 classification prefer the cloud
+at strong signal — but they react differently as the Wi-Fi degrades
+(Table IV's S4, Fig. 6's experiment):
+
+- **ResNet-50** ships a camera frame per inference.  Below the −80 dBm
+  state boundary the transmission cost explodes and AutoScale walks the
+  inference back to the edge side (the Wi-Fi-Direct-connected tablet,
+  then the local DSP).
+- **MobileBERT** ships a few hundred bytes of tokens.  Weak signal only
+  inflates the round-trip latency and radio power a little, while every
+  on-device option costs 10-20x more energy and misses the 100 ms QoS —
+  so the *correct* decision is to stay on the cloud, and AutoScale does,
+  even as the link decays.  (This is the paper's "for heavy NNs there is
+  no option other than scaling out to the cloud".)
+
+Run:  python examples/translation_offload.py
+"""
+
+from repro import (
+    AutoScale,
+    EdgeCloudEnvironment,
+    build_device,
+    build_network,
+    use_case_for,
+)
+from repro.env.scenarios import Scenario
+from repro.interference.corunner import no_corunner
+from repro.wireless.signal import ConstantSignal
+
+RSSI_STEPS = (-55.0, -70.0, -78.0, -82.0, -88.0)
+
+
+def scenario_at(rssi_dbm):
+    return Scenario(
+        name=f"wifi@{rssi_dbm:.0f}dBm",
+        description="fixed Wi-Fi strength, idle device",
+        corunner=no_corunner(),
+        wlan_signal=ConstantSignal(rssi_dbm),
+        p2p_signal=ConstantSignal(-58.0),
+    )
+
+
+def walk_signal_down(env, engine, use_case):
+    print(f"-- {use_case.name} (QoS {use_case.qos_ms:.0f} ms, input "
+          f"{use_case.network.input_bytes / 1000:.1f} KB on the wire)")
+    print(f"{'wifi rssi':>10s} {'decision':22s} {'lat ms':>7s} "
+          f"{'E mJ':>7s} {'QoS':>4s}")
+    for rssi in RSSI_STEPS:
+        env.scenario = scenario_at(rssi)
+        env.clock.reset()
+        engine.unfreeze()
+        engine.convergence.reset()
+        engine.run(use_case, 80)     # keep learning as the link decays
+        engine.freeze()
+        step = engine.step(use_case)
+        result = step.result
+        ok = result.latency_ms <= use_case.qos_ms
+        print(f"{rssi:9.0f}d {step.target_key:22s} "
+              f"{result.latency_ms:7.1f} {result.energy_mj:7.1f} "
+              f"{'ok' if ok else 'VIO':>4s}")
+    print()
+
+
+def main():
+    env = EdgeCloudEnvironment(build_device("mi8pro"),
+                               scenario=scenario_at(-55.0), seed=11)
+    engine = AutoScale(env, seed=11)
+
+    walk_signal_down(env, engine, use_case_for(build_network("resnet_50")))
+    walk_signal_down(env, engine,
+                     use_case_for(build_network("mobilebert")))
+
+    print("ResNet-50 leaves the cloud below the -80 dBm boundary (its")
+    print("camera frame is what gets expensive to ship); MobileBERT's")
+    print("token payload is too small to care, so staying on the cloud —")
+    print("at rising but still-lowest energy — is the right call, and")
+    print("AutoScale makes it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Common scheduler interface shared by AutoScale's baselines.
+
+Every baseline (static policies, the Opt oracle, the prediction-based
+approaches of Section III-C, and the prior-work schedulers MOSAIC and
+NeuroSurgeon) implements :class:`Scheduler`: given a use case and the
+current observation, produce a decision and execute it in an environment.
+Whole-model schedulers decide an execution target; partitioning schedulers
+(MOSAIC, NeuroSurgeon) override :meth:`execute` to run their layer-level
+plans.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """A decision policy for where to run each inference."""
+
+    #: Human-readable name used in experiment tables.
+    name = "scheduler"
+
+    def train(self, environment, use_cases, rng=None):
+        """Fit the scheduler (no-op for static policies)."""
+
+    @abc.abstractmethod
+    def select(self, environment, use_case, observation):
+        """The :class:`ExecutionTarget` (or plan) chosen for this request."""
+
+    def execute(self, environment, use_case, observation=None):
+        """Select and run one inference; returns the ExecutionResult."""
+        if observation is None:
+            observation = environment.observe()
+        target = self.select(environment, use_case, observation)
+        return environment.execute(use_case.network, target, observation)

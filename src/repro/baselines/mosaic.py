@@ -1,0 +1,196 @@
+"""MOSAIC baseline ([42], PACT'19).
+
+MOSAIC performs heterogeneity-, communication-, and constraint-aware
+*model slicing*: a network is cut into contiguous layer segments, each
+mapped to one of the mobile SoC's processors, so that every segment runs
+on the engine that suits its layers, while hand-off costs between engines
+are accounted for.
+
+Our implementation fits per-(processor, layer-type) linear latency models
+(the same regression family as NeuroSurgeon's) and enumerates all slicings
+with up to three segments over the device's processors.  True to the
+original's throughput orientation, the planner minimizes predicted
+*latency* (breaking ties on energy) subject to the accuracy constraint.
+Each processor uses its fastest accuracy-feasible precision at the top V/F
+step.  Like the original, the planner sees only profile-time behaviour —
+co-runner interference, thermal throttling, and the energy cost of
+pinning the top V/F step are invisible to it, which is where AutoScale's
+~1.9x average advantage in Fig. 9 comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Scheduler
+from repro.baselines.neurosurgeon import LayerLatencyModel
+from repro.common import ConfigError
+from repro.env.target import ExecutionTarget, Location
+from repro.models.quantization import Precision
+
+__all__ = ["MosaicScheduler"]
+
+#: Hand-off penalty between segments (driver transition), matching the
+#: executor's pipelined-execution model.
+_HOP_MS = 2.5
+
+# Precision preference per role (highest accuracy first) — MOSAIC picks
+# the fastest precision that still meets the accuracy constraint.
+_ROLE_PRECISIONS = {
+    "cpu": (Precision.INT8, Precision.FP32),
+    "gpu": (Precision.FP16, Precision.FP32),
+    "dsp": (Precision.INT8,),
+    "npu": (Precision.INT8,),
+}
+
+
+class MosaicScheduler(Scheduler):
+    """Heterogeneity-aware model slicing across local processors."""
+
+    name = "mosaic"
+
+    def __init__(self, max_segments=3):
+        if max_segments < 1:
+            raise ConfigError("max_segments must be >= 1")
+        self.max_segments = max_segments
+        self._models = {}       # (network, role) -> LayerLatencyModel
+        self._precisions = {}   # (network, role) -> Precision
+        self._plans = {}        # use-case name -> segments
+
+    def train(self, environment, use_cases, rng=None):
+        """Fit per-processor layer models and precompute slicing plans."""
+        device = environment.device
+        for use_case in use_cases:
+            network = use_case.network
+            for role in device.soc.roles:
+                proc = device.soc.processor(role)
+                precision = self._pick_precision(
+                    environment, use_case, role, proc
+                )
+                if precision is None:
+                    continue
+                self._precisions[(network.name, role)] = precision
+                self._models[(network.name, role)] = LayerLatencyModel().fit(
+                    proc, network.layers, precision, rng=rng
+                )
+            self._plans[use_case.name] = self._plan(environment, use_case)
+
+    def _pick_precision(self, environment, use_case, role, proc):
+        for precision in _ROLE_PRECISIONS[role]:
+            if not proc.supports(precision):
+                continue
+            accuracy = environment.accuracy.lookup(
+                use_case.network.name, precision
+            )
+            if use_case.meets_accuracy(accuracy):
+                return precision
+        return None
+
+    def _role_costs(self, environment, network):
+        """Per-role predicted per-layer latencies and busy powers (mW)."""
+        device = environment.device
+        costs, powers, roles = {}, {}, []
+        for role in device.soc.roles:
+            model = self._models.get((network.name, role))
+            if model is None:
+                continue
+            roles.append(role)
+            costs[role] = model.predict_layers(network.layers)
+            powers[role] = device.soc.processor(role).busy_power_at(-1)
+        return roles, costs, powers
+
+    def _plan(self, environment, use_case):
+        """Enumerate slicings (<= max_segments) minimizing predicted energy.
+
+        Returns a list of ``(num_layers, ExecutionTarget)`` segments.
+        """
+        network = use_case.network
+        device = environment.device
+        roles, layer_ms, busy_mw = self._role_costs(environment, network)
+        if not roles:
+            raise ConfigError(f"no feasible processor for {use_case.name}")
+        num_layers = len(network.layers)
+        base_mw = device.soc.platform_idle_mw
+        prefix = {
+            role: np.concatenate([[0.0], np.cumsum(layer_ms[role])])
+            for role in roles
+        }
+
+        def segment_cost(role, start, stop):
+            ms = prefix[role][stop] - prefix[role][start]
+            return ms, busy_mw[role] * ms / 1000.0
+
+        best_plan, best_rank = None, None
+
+        def consider(plan):
+            nonlocal best_plan, best_rank
+            latency, energy = 0.0, 0.0
+            previous = None
+            for start, stop, role in plan:
+                ms, mj = segment_cost(role, start, stop)
+                if previous is not None and previous != role:
+                    latency += _HOP_MS
+                latency += ms
+                energy += mj
+                previous = role
+            energy += base_mw * latency / 1000.0
+            # Throughput-first: minimize predicted latency, then energy.
+            rank = (latency, energy)
+            if best_rank is None or rank < best_rank:
+                best_plan, best_rank = plan, rank
+
+        # One segment.
+        for role in roles:
+            consider([(0, num_layers, role)])
+        # Two segments.
+        if self.max_segments >= 2:
+            for split in range(1, num_layers):
+                for first in roles:
+                    for second in roles:
+                        if first == second:
+                            continue
+                        consider([(0, split, first),
+                                  (split, num_layers, second)])
+        # Three segments (coarse grid keeps planning cheap, as the
+        # original's heuristic pruning does).
+        if self.max_segments >= 3 and len(roles) >= 2:
+            grid = range(2, num_layers - 1, max(1, num_layers // 16))
+            for i in grid:
+                for j in grid:
+                    if j <= i:
+                        continue
+                    for a in roles:
+                        for b in roles:
+                            for c in roles:
+                                if a == b or b == c:
+                                    continue
+                                consider([(0, i, a), (i, j, b),
+                                          (j, num_layers, c)])
+
+        segments = []
+        for start, stop, role in best_plan:
+            proc = device.soc.processor(role)
+            precision = self._precisions[(network.name, role)]
+            segments.append((
+                stop - start,
+                ExecutionTarget(Location.LOCAL, role, precision,
+                                proc.num_vf_steps - 1),
+            ))
+        return segments
+
+    def select(self, environment, use_case, observation):
+        """Returns the precomputed slicing plan for this use case."""
+        try:
+            return self._plans[use_case.name]
+        except KeyError:
+            raise ConfigError(
+                f"{self.name} not trained for {use_case.name}"
+            ) from None
+
+    def execute(self, environment, use_case, observation=None):
+        if observation is None:
+            observation = environment.observe()
+        segments = self.select(environment, use_case, observation)
+        return environment.execute_pipelined(
+            use_case.network, segments, observation
+        )

@@ -1,0 +1,208 @@
+"""Command-line interface for the AutoScale reproduction.
+
+Installed as ``repro-autoscale`` (see ``pyproject.toml``).  Subcommands:
+
+- ``list`` — inventory: devices, networks, Table-IV scenarios;
+- ``train`` — train an engine on a device/network/scenario and
+  optionally persist it;
+- ``predict`` — load a persisted engine and print its decision for the
+  current (simulated) conditions;
+- ``experiment`` — run one of the paper-figure drivers and print the
+  reproduced table.
+
+Examples::
+
+    repro-autoscale list
+    repro-autoscale train --device mi8pro --network mobilenet_v3 \\
+        --runs 120 --save /tmp/engine
+    repro-autoscale predict --load /tmp/engine --device mi8pro \\
+        --network mobilenet_v3 --scenario S4
+    repro-autoscale experiment fig2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.convergence import episodes_to_converge
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig2": ("repro.evalharness.characterization",
+             "fig2_characterization"),
+    "fig3": ("repro.evalharness.characterization", "fig3_layer_latency"),
+    "fig4": ("repro.evalharness.characterization",
+             "fig4_accuracy_tradeoff"),
+    "fig5": ("repro.evalharness.characterization", "fig5_interference"),
+    "fig6": ("repro.evalharness.characterization", "fig6_signal"),
+    "fig7": ("repro.evalharness.characterization", "fig7_predictors"),
+    "fig9": ("repro.evalharness.evaluation", "fig9_main_results"),
+    "fig10": ("repro.evalharness.evaluation", "fig10_streaming"),
+    "fig11": ("repro.evalharness.evaluation", "fig11_dynamic"),
+    "fig12": ("repro.evalharness.evaluation", "fig12_accuracy_targets"),
+    "fig13": ("repro.evalharness.evaluation", "fig13_decisions"),
+    "fig14": ("repro.evalharness.evaluation", "fig14_convergence"),
+    "overhead": ("repro.evalharness.evaluation", "overhead_analysis"),
+    "rl-designs": ("repro.evalharness.rl_comparison",
+                   "compare_rl_designs"),
+    "calibration": ("repro.evalharness.calibration",
+                    "run_calibration_checks"),
+    "fleet": ("repro.evalharness.fleet", "fleet_transfer_study"),
+    "pareto": ("repro.evalharness.pareto", "design_space_analysis"),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-autoscale",
+        description="AutoScale (MICRO 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list devices, networks, and scenarios")
+
+    train = sub.add_parser("train", help="train an AutoScale engine")
+    train.add_argument("--device", default="mi8pro")
+    train.add_argument("--network", default="mobilenet_v3")
+    train.add_argument("--scenario", default="S1")
+    train.add_argument("--runs", type=int, default=120)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--streaming", action="store_true")
+    train.add_argument("--save", metavar="DIR",
+                       help="persist the trained engine here")
+
+    predict = sub.add_parser("predict",
+                             help="decision of a persisted engine")
+    predict.add_argument("--load", metavar="DIR", required=True)
+    predict.add_argument("--device", default="mi8pro")
+    predict.add_argument("--network", default="mobilenet_v3")
+    predict.add_argument("--scenario", default="S1")
+    predict.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment",
+                                help="run a paper-figure driver")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="assemble REPORT.md from benchmark artifacts"
+    )
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default=None)
+
+    return parser
+
+
+def _cmd_list(out):
+    from repro.env.scenarios import SCENARIO_NAMES, build_scenario
+    from repro.hardware.devices import DEVICE_BUILDERS, build_device
+    from repro.models.zoo import NETWORK_NAMES, build_network
+
+    out.write("devices:\n")
+    for name in sorted(DEVICE_BUILDERS):
+        device = build_device(name)
+        out.write(f"  {name:18s} {device.device_class.value:7s} "
+                  f"roles={','.join(device.soc.roles)}\n")
+    out.write("networks:\n")
+    for name in NETWORK_NAMES:
+        out.write(f"  {build_network(name).describe()}\n")
+    out.write("scenarios:\n")
+    for name in SCENARIO_NAMES:
+        out.write(f"  {name}: {build_scenario(name).description}\n")
+    return 0
+
+
+def _cmd_train(args, out):
+    from repro.core.engine import AutoScale
+    from repro.core.persistence import save_engine
+    from repro.env.environment import EdgeCloudEnvironment
+    from repro.env.qos import use_case_for
+    from repro.hardware.devices import build_device
+    from repro.models.zoo import build_network
+
+    env = EdgeCloudEnvironment(build_device(args.device),
+                               scenario=args.scenario, seed=args.seed)
+    engine = AutoScale(env, seed=args.seed)
+    use_case = use_case_for(build_network(args.network),
+                            streaming=args.streaming)
+    out.write(f"training {args.network} on {args.device} "
+              f"({args.scenario}, {args.runs} runs)\n")
+    steps = engine.run(use_case, args.runs)
+    rewards = [s.reward for s in steps if not s.explored]
+    out.write(f"reward converged after ~{episodes_to_converge(rewards)} "
+              f"exploit runs\n")
+    engine.freeze()
+    target = engine.predict(use_case.network, env.observe())
+    out.write(f"greedy decision: {target.key}\n")
+    if args.save:
+        path = save_engine(engine, args.save)
+        out.write(f"engine saved to {path}\n")
+    return 0
+
+
+def _cmd_predict(args, out):
+    from repro.core.persistence import load_engine
+    from repro.env.environment import EdgeCloudEnvironment
+    from repro.hardware.devices import build_device
+    from repro.models.zoo import build_network
+
+    env = EdgeCloudEnvironment(build_device(args.device),
+                               scenario=args.scenario, seed=args.seed)
+    engine = load_engine(args.load, env, seed=args.seed)
+    engine.freeze()
+    network = build_network(args.network)
+    observation = env.observe()
+    target = engine.predict(network, observation)
+    result = env.estimate(network, target, observation)
+    out.write(f"conditions: scenario={args.scenario} "
+              f"wifi={observation.rssi_wlan_dbm:.0f}dBm "
+              f"co-cpu={observation.cpu_util * 100:.0f}%\n")
+    out.write(f"decision  : {target.key}\n")
+    out.write(f"expected  : {result.latency_ms:.1f} ms, "
+              f"{result.energy_mj:.1f} mJ, "
+              f"{result.accuracy_pct:.1f}% accuracy\n")
+    return 0
+
+
+def _cmd_experiment(args, out):
+    import importlib
+    import inspect
+
+    module_name, function_name = _EXPERIMENTS[args.name]
+    driver = getattr(importlib.import_module(module_name), function_name)
+    kwargs = {}
+    if "seed" in inspect.signature(driver).parameters:
+        kwargs["seed"] = args.seed
+    result = driver(**kwargs)
+    out.write(result["table"] + "\n")
+    return 0
+
+
+def _cmd_report(args, out):
+    from repro.evalharness.report import generate_report
+
+    path = generate_report(args.results, output_path=args.output)
+    out.write(f"report written to {path}\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "train":
+        return _cmd_train(args, out)
+    if args.command == "predict":
+        return _cmd_predict(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Shared primitives used across the AutoScale reproduction.
+
+Unit conventions (documented in DESIGN.md):
+
+- latency: milliseconds (ms)
+- energy: millijoules (mJ)
+- power: milliwatts (mW)
+- data size: bytes
+- data rate: megabits per second (Mbit/s)
+- signal strength: dBm (negative; closer to zero is stronger)
+- frequency: MHz
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "Stopwatch",
+    "make_rng",
+    "mj_to_joules",
+    "ms_to_seconds",
+    "mbits_to_bytes",
+    "bytes_to_mbits",
+    "ppw_from_energy",
+    "clamp",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation request cannot be executed."""
+
+
+def make_rng(seed=None):
+    """Return a ``numpy.random.Generator``.
+
+    Accepts ``None`` (non-deterministic), an int seed, or an existing
+    generator (returned unchanged).  Every stochastic component in the
+    library takes its randomness through this funnel so experiments are
+    reproducible from a single seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def mj_to_joules(energy_mj):
+    """Convert millijoules to joules."""
+    return energy_mj / 1000.0
+
+
+def ms_to_seconds(latency_ms):
+    """Convert milliseconds to seconds."""
+    return latency_ms / 1000.0
+
+
+def mbits_to_bytes(mbits):
+    """Convert megabits to bytes (1 Mbit = 125,000 bytes)."""
+    return mbits * 125_000.0
+
+
+def bytes_to_mbits(num_bytes):
+    """Convert bytes to megabits."""
+    return num_bytes / 125_000.0
+
+
+def ppw_from_energy(energy_mj):
+    """Performance-per-watt proxy used throughout the paper's figures.
+
+    For a single inference, throughput/power reduces to the reciprocal of
+    the energy per inference.  We report inferences per joule; the figures
+    always normalize PPW to a named baseline so the absolute scale cancels.
+    """
+    if energy_mj <= 0:
+        raise ValueError(f"energy must be positive, got {energy_mj}")
+    return 1000.0 / energy_mj
+
+
+def clamp(value, low, high):
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates simulated wall-clock time in milliseconds.
+
+    The environment uses one of these to stamp each inference with a
+    virtual timestamp, which drives time-varying scenario processes
+    (signal-strength random walks, co-runner phase changes).
+    """
+
+    now_ms: float = 0.0
+
+    def advance(self, delta_ms):
+        """Move the clock forward; negative deltas are rejected."""
+        if delta_ms < 0 or not math.isfinite(delta_ms):
+            raise ValueError(f"cannot advance clock by {delta_ms} ms")
+        self.now_ms += delta_ms
+        return self.now_ms
+
+    def reset(self):
+        """Rewind the clock to zero (used between experiment episodes)."""
+        self.now_ms = 0.0

@@ -1,0 +1,60 @@
+"""AutoScale's action space.
+
+Actions are the available execution targets (Section IV-A), augmented with
+DVFS settings and quantization levels (Section V-C).  The
+:class:`ActionSpace` indexes a stable tuple of
+:class:`~repro.env.target.ExecutionTarget` so the Q-table can address
+actions by integer column.
+"""
+
+from __future__ import annotations
+
+from repro.common import ConfigError
+from repro.env.target import enumerate_targets
+
+__all__ = ["ActionSpace"]
+
+
+class ActionSpace:
+    """An indexed, immutable set of execution targets."""
+
+    def __init__(self, targets):
+        self.targets = tuple(targets)
+        if not self.targets:
+            raise ConfigError("action space cannot be empty")
+        self._index = {target.key: i for i, target in enumerate(self.targets)}
+        if len(self._index) != len(self.targets):
+            raise ConfigError("duplicate targets in action space")
+
+    @classmethod
+    def from_environment(cls, environment, with_dvfs=True,
+                         with_quantization=True):
+        """Build the action space of an :class:`EdgeCloudEnvironment`.
+
+        With both augmentations on (the paper's configuration), the
+        Mi8Pro environment yields the paper's 66 actions.
+        """
+        return cls(enumerate_targets(
+            environment.device, environment.cloud, environment.connected,
+            with_dvfs=with_dvfs, with_quantization=with_quantization,
+        ))
+
+    def __len__(self):
+        return len(self.targets)
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def target(self, index):
+        """The :class:`ExecutionTarget` at an action index."""
+        return self.targets[index]
+
+    def index_of(self, target):
+        """The action index of a target (by key)."""
+        try:
+            return self._index[target.key]
+        except KeyError:
+            raise KeyError(f"{target.key} not in this action space") from None
+
+    def __contains__(self, target):
+        return getattr(target, "key", None) in self._index

@@ -1,0 +1,280 @@
+"""The AutoScale execution-scaling engine (Fig. 8 / Algorithm 1).
+
+For each inference the engine (1) identifies the current execution state —
+NN characteristics plus runtime variance; (2) selects an action (execution
+target) from its Q-table via epsilon-greedy; (3) executes the inference on
+that target; (4) computes the reward from the measured latency, the
+estimated energy, and the stored accuracy; and (5) updates the Q-table.
+
+The engine instruments its own decision/update path with wall-clock
+timers, which is what the Section VI-C overhead analysis measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common import ConfigError, make_rng
+from repro.core.action import ActionSpace
+from repro.core.convergence import ConvergenceDetector
+from repro.core.qlearning import QLearningConfig, QTable, epsilon_greedy
+from repro.core.reward import RewardConfig, compute_reward
+from repro.core.state import table_i_state_space
+
+__all__ = ["AutoScaleStep", "OverheadStats", "AutoScale"]
+
+
+@dataclass(frozen=True)
+class AutoScaleStep:
+    """Everything produced by one observe-select-execute-update cycle."""
+
+    state: int
+    action: int
+    target_key: str
+    reward: float
+    result: object
+    explored: bool
+
+
+@dataclass
+class OverheadStats:
+    """Accumulated engine overhead (Section VI-C).
+
+    ``select_us`` covers state lookup + action choice (the inference-time
+    overhead of a trained table); ``update_us`` additionally covers reward
+    calculation and the Q update (the training-time overhead).
+    """
+
+    select_us: List[float] = field(default_factory=list)
+    update_us: List[float] = field(default_factory=list)
+
+    def mean_select_us(self):
+        return sum(self.select_us) / len(self.select_us) \
+            if self.select_us else 0.0
+
+    def mean_update_us(self):
+        return sum(self.update_us) / len(self.update_us) \
+            if self.update_us else 0.0
+
+    def mean_train_us(self):
+        """Full training-path overhead per inference (select + update)."""
+        return self.mean_select_us() + self.mean_update_us()
+
+
+class AutoScale:
+    """The adaptive execution-scaling engine.
+
+    Args:
+        environment: an :class:`~repro.env.EdgeCloudEnvironment`.
+        state_space: defaults to the Table-I space (3,072 states).
+        action_space: defaults to the environment's full augmented space.
+        config: Q-learning hyperparameters (paper defaults).
+        reward: reward weights/normalization.
+        seed: RNG seed for exploration and Q-table initialization.
+    """
+
+    def __init__(self, environment, state_space=None, action_space=None,
+                 config=None, reward=None, seed=None):
+        self.environment = environment
+        self.state_space = state_space or table_i_state_space()
+        self.action_space = action_space or \
+            ActionSpace.from_environment(environment)
+        self.config = config or QLearningConfig()
+        self.reward_config = reward or RewardConfig()
+        self.rng = make_rng(seed)
+        self.qtable = QTable(
+            self.state_space.size, len(self.action_space),
+            config=self.config, seed=self.rng,
+        )
+        self.overhead = OverheadStats()
+        self.convergence = ConvergenceDetector()
+        self.training = True
+        self.history: List[AutoScaleStep] = []
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+
+    def freeze(self):
+        """Stop exploring and learning; use the trained table greedily."""
+        self.training = False
+
+    def unfreeze(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def observe_state(self, network, observation):
+        """Step 1: encode (NN characteristics, runtime variance)."""
+        return self.state_space.encode(network, observation)
+
+    def select_action(self, state, explore=None):
+        """Step 2: epsilon-greedy over the Q-table.
+
+        Returns ``(action_index, explored)``.
+        """
+        if explore is None:
+            explore = self.training
+        started = time.perf_counter()
+        if explore and self.rng.random() < self.config.epsilon:
+            action = int(self.rng.integers(len(self.action_space)))
+            explored = True
+        elif explore:
+            # Training-time exploitation: plain argmax, so untried
+            # actions' optimistic init values drive directed exploration.
+            action = self.qtable.best_action(state)
+            explored = False
+        else:
+            # Trained-table usage: only actions with at least one real
+            # reward are eligible (Section IV-B's "after the learning is
+            # complete, the Q-table is used to select A").  States never
+            # visited during training fall back to the nearest trained
+            # sibling state of the same network (see _sibling_fallback).
+            if self.qtable.visits[state].any():
+                action = self.qtable.best_visited_action(state)
+            else:
+                action = self._sibling_fallback(state)
+            explored = False
+        self.overhead.select_us.append(
+            (time.perf_counter() - started) * 1e6
+        )
+        return action, explored
+
+    def _variance_block_size(self):
+        """States per network: the product of the trailing runtime-
+        variance features' bin counts.
+
+        Table I orders features network-first, so states of the same
+        network occupy one contiguous block of this size.  Returns 0 when
+        the layout does not follow that convention (custom spaces), which
+        disables the sibling fallback.
+        """
+        features = getattr(self.state_space, "features", ())
+        size = 1
+        seen_variance = False
+        for feature in features:
+            is_variance = feature.name.startswith(("s_co_", "s_rssi"))
+            if is_variance:
+                seen_variance = True
+                size *= feature.num_bins
+            elif seen_variance:
+                return 0  # NN feature after a variance feature
+        return size if seen_variance else 0
+
+    def _sibling_fallback(self, state):
+        """Greedy action for an unvisited state.
+
+        A deployed table can meet a runtime-variance combination it was
+        never trained under (e.g. a co-runner burst level unseen during
+        training).  The network's identity dominates the decision, so we
+        borrow the best visited action from the *nearest trained state of
+        the same network* — the sibling whose variance-bin vector is
+        closest in L1 distance.  With no trained sibling at all, fall
+        back to the plain argmax (random-init exploration behaviour).
+        """
+        block = self._variance_block_size()
+        if block <= 0:
+            return self.qtable.best_action(state)
+        base = (state // block) * block
+        offset = state - base
+        best_action, best_distance = None, None
+        for sibling_offset in range(block):
+            sibling = base + sibling_offset
+            if not self.qtable.visits[sibling].any():
+                continue
+            distance = self._bin_distance(offset, sibling_offset)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_action = self.qtable.best_visited_action(sibling)
+        if best_action is None:
+            return self.qtable.best_action(state)
+        return best_action
+
+    def _bin_distance(self, offset_a, offset_b):
+        """L1 distance between two variance-bin vectors (by offset)."""
+        radices = [
+            feature.num_bins
+            for feature in getattr(self.state_space, "features", ())
+            if feature.name.startswith(("s_co_", "s_rssi"))
+        ]
+        distance = 0
+        for radix in reversed(radices):
+            distance += abs(offset_a % radix - offset_b % radix)
+            offset_a //= radix
+            offset_b //= radix
+        return distance
+
+    def step(self, use_case, observation=None):
+        """One full Algorithm-1 cycle for an inference request.
+
+        Observes the state, selects and executes an action, computes the
+        reward, observes the successor state, and (in training mode)
+        updates the Q-table.  Returns an :class:`AutoScaleStep`.
+        """
+        env = self.environment
+        if observation is None:
+            observation = env.observe()
+        network = use_case.network
+        state = self.observe_state(network, observation)
+        action, explored = self.select_action(state)
+        target = self.action_space.target(action)
+
+        result = env.execute(network, target, observation)
+
+        started = time.perf_counter()
+        reward = compute_reward(result, use_case, self.reward_config)
+        if self.training:
+            next_observation = env.observe()
+            next_state = self.observe_state(network, next_observation)
+            self.qtable.update(state, action, reward, next_state)
+            # Exploration steps are deliberate off-policy probes; feeding
+            # their rewards to the detector would make the "converged"
+            # reward stream look noisy forever.
+            if not explored:
+                self.convergence.observe(reward, executed_action=action)
+        self.overhead.update_us.append(
+            (time.perf_counter() - started) * 1e6
+        )
+
+        record = AutoScaleStep(
+            state=state, action=action, target_key=target.key,
+            reward=reward, result=result, explored=explored,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, use_case, num_inferences):
+        """Run ``num_inferences`` Algorithm-1 cycles for one use case."""
+        if num_inferences < 1:
+            raise ConfigError("num_inferences must be >= 1")
+        return [self.step(use_case) for _ in range(num_inferences)]
+
+    # ------------------------------------------------------------------
+    # Prediction (trained-table usage)
+    # ------------------------------------------------------------------
+
+    def predict(self, network, observation):
+        """The greedy execution target for a (network, observation) pair."""
+        state = self.observe_state(network, observation)
+        action, _ = self.select_action(state, explore=False)
+        return self.action_space.target(action)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def converged(self):
+        return self.convergence.converged
+
+    def memory_footprint_bytes(self):
+        """Q-table resident size (Section VI-C reports ~0.4 MB)."""
+        return self.qtable.memory_bytes
+
+    def rewards(self):
+        """The reward trace of every step taken so far."""
+        return [step.reward for step in self.history]

@@ -1,0 +1,95 @@
+"""Persistence of trained AutoScale engines.
+
+A deployed service trains once (or receives a transferred table, Section
+VI-C) and then reloads the trained Q-table across process restarts.  The
+on-disk format is a directory holding:
+
+- ``qtable.npz`` — values, visit counts, update count;
+- ``meta.json`` — the action-space keys, state-space size, and the
+  hyperparameters, so a load against a *different* environment (wrong
+  device, changed action augmentations) fails loudly instead of silently
+  mis-indexing actions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.common import ConfigError
+from repro.core.engine import AutoScale
+from repro.core.qlearning import QLearningConfig, QTable
+from repro.core.reward import RewardConfig
+
+__all__ = ["save_engine", "load_engine"]
+
+_META_NAME = "meta.json"
+_TABLE_NAME = "qtable.npz"
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine, directory):
+    """Persist a trained engine to ``directory`` (created if needed)."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    engine.qtable.save(path / _TABLE_NAME)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "device": engine.environment.device.name,
+        "num_states": engine.state_space.size,
+        "action_keys": [target.key for target in engine.action_space],
+        "qlearning": {
+            "learning_rate": engine.config.learning_rate,
+            "discount": engine.config.discount,
+            "epsilon": engine.config.epsilon,
+            "init_low": engine.config.init_low,
+            "init_high": engine.config.init_high,
+            "dtype": engine.config.dtype,
+        },
+        "reward": {
+            "alpha": engine.reward_config.alpha,
+            "beta": engine.reward_config.beta,
+            "normalize": engine.reward_config.normalize,
+            "energy_ref_mj": engine.reward_config.energy_ref_mj,
+        },
+    }
+    (path / _META_NAME).write_text(json.dumps(meta, indent=2))
+    return path
+
+
+def load_engine(directory, environment, seed=None):
+    """Reconstruct an engine from disk against a compatible environment.
+
+    Raises :class:`ConfigError` when the environment's action space does
+    not match the persisted one (different device or augmentations) or
+    when the state-space size differs.
+    """
+    path = pathlib.Path(directory)
+    meta_path = path / _META_NAME
+    if not meta_path.exists():
+        raise ConfigError(f"no engine metadata at {meta_path}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported engine format {meta.get('format_version')!r}"
+        )
+    config = QLearningConfig(**meta["qlearning"])
+    reward = RewardConfig(**meta["reward"])
+    engine = AutoScale(environment, config=config, reward=reward,
+                       seed=seed)
+
+    expected_keys = meta["action_keys"]
+    actual_keys = [target.key for target in engine.action_space]
+    if actual_keys != expected_keys:
+        raise ConfigError(
+            "environment action space does not match the persisted "
+            f"engine (persisted for device {meta['device']!r}); "
+            "use repro.core.transfer to move tables across devices"
+        )
+    if engine.state_space.size != meta["num_states"]:
+        raise ConfigError(
+            f"state-space size mismatch: persisted {meta['num_states']}, "
+            f"environment {engine.state_space.size}"
+        )
+    engine.qtable = QTable.load(path / _TABLE_NAME, config=config)
+    return engine

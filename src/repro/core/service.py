@@ -1,0 +1,125 @@
+"""AutoScaleService: the engine packaged the way a product would ship it.
+
+Footnote 7: "AutoScale is implemented as part of intelligent services and
+runs on the mobile CPU."  This facade is that integration surface — one
+object that owns the engine, keeps a rolling trace, persists/restores its
+table, and exposes the two calls a service framework needs:
+
+- :meth:`handle` — schedule and execute one inference request;
+- :meth:`checkpoint` / :meth:`restore` — survive process restarts.
+
+Training is continuous by default (the paper's "continuously learns"),
+with :meth:`set_learning` to pin a converged table in place.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+from repro.common import ConfigError
+from repro.core.engine import AutoScale
+from repro.core.persistence import load_engine, save_engine
+from repro.evalharness.tracing import TraceRecorder
+
+__all__ = ["AutoScaleService"]
+
+
+class AutoScaleService:
+    """A deployable wrapper around one engine and its bookkeeping."""
+
+    def __init__(self, environment, engine=None, seed=None,
+                 trace_limit=10_000):
+        if trace_limit < 1:
+            raise ConfigError("trace_limit must be >= 1")
+        self.environment = environment
+        self.engine = engine or AutoScale(environment, seed=seed)
+        self.trace = TraceRecorder()
+        self.trace_limit = trace_limit
+        self._registered = {}
+
+    # ------------------------------------------------------------------
+    # Service registry
+    # ------------------------------------------------------------------
+
+    def register(self, use_case):
+        """Register a service's use case; returns its name handle."""
+        self._registered[use_case.name] = use_case
+        return use_case.name
+
+    def use_case(self, name):
+        try:
+            return self._registered[name]
+        except KeyError:
+            raise KeyError(
+                f"no registered service {name!r}; "
+                f"known: {sorted(self._registered)}"
+            ) from None
+
+    @property
+    def services(self):
+        return tuple(sorted(self._registered))
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def handle(self, name):
+        """Schedule and execute one inference for a registered service.
+
+        Returns the :class:`~repro.env.result.ExecutionResult`.
+        """
+        use_case = self.use_case(name)
+        step = self.engine.step(use_case)
+        if len(self.trace) >= self.trace_limit:
+            # Rolling window: drop the oldest half in one go (amortized).
+            self.trace.records = self.trace.records[self.trace_limit // 2:]
+        self.trace.record_step(step, use_case,
+                               at_ms=self.environment.clock.now_ms)
+        return step.result
+
+    def set_learning(self, enabled):
+        """Toggle continuous learning (off pins the trained table)."""
+        if enabled:
+            self.engine.unfreeze()
+        else:
+            self.engine.freeze()
+
+    @property
+    def learning(self):
+        return self.engine.training
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self):
+        """A service-health snapshot."""
+        status = {
+            "services": list(self.services),
+            "learning": self.learning,
+            "inferences_served": len(self.engine.history),
+            "qtable_mb": self.engine.memory_footprint_bytes() / 1e6,
+            "converged": self.engine.converged,
+        }
+        if len(self.trace):
+            status.update(self.trace.summary())
+        return status
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, directory):
+        """Persist the trained table (and the current trace) to disk."""
+        path = save_engine(self.engine, directory)
+        if len(self.trace):
+            self.trace.save(pathlib.Path(directory) / "trace.jsonl")
+        return path
+
+    @classmethod
+    def restore(cls, directory, environment, seed=None,
+                trace_limit=10_000):
+        """Reconstruct a service from a checkpoint."""
+        engine = load_engine(directory, environment, seed=seed)
+        return cls(environment, engine=engine, trace_limit=trace_limit)

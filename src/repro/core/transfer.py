@@ -1,0 +1,105 @@
+"""Q-table transfer learning across devices.
+
+Section IV / VI-C: although execution targets' absolute performance varies
+across heterogeneous devices, they exhibit similar *energy trends* per
+network, so a model trained on one device carries useful knowledge to
+another and accelerates convergence (the paper reports a 21.2% cut in
+training time transferring Mi8Pro -> Galaxy S10e / Moto X Force).
+
+Devices have differently sized action spaces (66 on the Mi8Pro, fewer on
+phones without a DSP or with fewer V/F steps), so values cannot be copied
+column-for-column.  :func:`map_actions` aligns actions semantically: each
+target-device action maps to the source action with the same (location,
+role, precision) and the nearest *relative* DVFS position; actions with no
+source counterpart (e.g. a DSP the source lacks) keep their fresh random
+initialization.
+"""
+
+from __future__ import annotations
+
+from repro.env.target import Location
+
+__all__ = ["map_actions", "transfer_q_table"]
+
+
+def _relative_vf(target, space):
+    """The action's V/F position as a fraction of its processor's range."""
+    if target.location is not Location.LOCAL or target.vf_index < 0:
+        return 1.0
+    # Infer the step count from the largest vf_index sharing the slot.
+    siblings = [
+        t.vf_index for t in space.targets
+        if (t.location, t.role, t.precision)
+        == (target.location, target.role, target.precision)
+    ]
+    top = max(siblings)
+    return target.vf_index / top if top > 0 else 1.0
+
+
+def map_actions(source_space, target_space):
+    """For each target action, the best-matching source action index.
+
+    Returns a list of length ``len(target_space)`` whose entries are a
+    source index or ``None`` when no source action shares the target's
+    (location, role, precision) slot.
+    """
+    source_slots = {}
+    for index, action in enumerate(source_space.targets):
+        slot = (action.location, action.role, action.precision)
+        source_slots.setdefault(slot, []).append(index)
+
+    mapping = []
+    for action in target_space.targets:
+        slot = (action.location, action.role, action.precision)
+        candidates = source_slots.get(slot)
+        if not candidates:
+            mapping.append(None)
+            continue
+        wanted = _relative_vf(action, target_space)
+        best = min(
+            candidates,
+            key=lambda i: abs(
+                _relative_vf(source_space.targets[i], source_space) - wanted
+            ),
+        )
+        mapping.append(best)
+    return mapping
+
+
+def transfer_q_table(source_table, source_space, target_table,
+                     target_space, blend=1.0):
+    """Seed ``target_table`` with knowledge from ``source_table``.
+
+    Args:
+        source_table / target_table: :class:`~repro.core.qlearning.QTable`
+            instances over the *same* state space (Table I is
+            device-independent).
+        source_space / target_space: the two devices' action spaces.
+        blend: 1.0 overwrites the target's initial values; smaller values
+            mix transferred knowledge with the fresh initialization.
+
+    Returns the number of target actions that received transferred values.
+    """
+    if source_table.num_states != target_table.num_states:
+        raise ValueError(
+            "transfer requires identical state spaces "
+            f"({source_table.num_states} != {target_table.num_states})"
+        )
+    if not 0.0 < blend <= 1.0:
+        raise ValueError(f"blend outside (0, 1]: {blend}")
+    mapping = map_actions(source_space, target_space)
+    transferred = 0
+    for column, source_index in enumerate(mapping):
+        if source_index is None:
+            continue
+        target_table.values[:, column] = (
+            blend * source_table.values[:, source_index]
+            + (1.0 - blend) * target_table.values[:, column]
+        )
+        # Transferred values encode real experience, not optimistic
+        # initialization — carry the visit counts so the target engine's
+        # trained-table selection rule trusts them immediately.
+        target_table.visits[:, column] = \
+            source_table.visits[:, source_index]
+        transferred += 1
+    return transferred

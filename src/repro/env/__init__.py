@@ -1,0 +1,70 @@
+"""Execution-environment simulation: targets, QoS, scenarios, executor."""
+
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.executor import (
+    NoiseConfig,
+    local_execution,
+    partitioned_execution,
+    pipelined_local_execution,
+    remote_execution,
+)
+from repro.env.observation import Observation
+from repro.env.presets import PRESET_BUILDERS, build_preset
+from repro.env.qos import (
+    QOS_NON_STREAMING_MS,
+    QOS_STREAMING_MS,
+    QOS_TRANSLATION_MS,
+    UseCase,
+    use_case_for,
+    use_cases_for_zoo,
+)
+from repro.env.result import ExecutionResult
+from repro.env.scenarios import (
+    DYNAMIC_SCENARIOS,
+    SCENARIO_NAMES,
+    STATIC_SCENARIOS,
+    Scenario,
+    build_scenario,
+)
+from repro.env.target import ExecutionTarget, Location, enumerate_targets
+from repro.env.workload import (
+    InferenceRequest,
+    MixedWorkload,
+    PoissonWorkload,
+    SessionWorkload,
+    SteadyWorkload,
+    run_workload,
+)
+
+__all__ = [
+    "EdgeCloudEnvironment",
+    "PRESET_BUILDERS",
+    "build_preset",
+    "NoiseConfig",
+    "local_execution",
+    "partitioned_execution",
+    "pipelined_local_execution",
+    "remote_execution",
+    "Observation",
+    "QOS_NON_STREAMING_MS",
+    "QOS_STREAMING_MS",
+    "QOS_TRANSLATION_MS",
+    "UseCase",
+    "use_case_for",
+    "use_cases_for_zoo",
+    "ExecutionResult",
+    "DYNAMIC_SCENARIOS",
+    "SCENARIO_NAMES",
+    "STATIC_SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "ExecutionTarget",
+    "Location",
+    "enumerate_targets",
+    "InferenceRequest",
+    "MixedWorkload",
+    "PoissonWorkload",
+    "SessionWorkload",
+    "SteadyWorkload",
+    "run_workload",
+]

@@ -1,0 +1,205 @@
+"""The edge-cloud execution environment.
+
+:class:`EdgeCloudEnvironment` wires a phone, the cloud server, a locally
+connected edge device, the two radio links, and a Table-IV scenario into
+one object with the interface every scheduler in this repo programs
+against:
+
+- ``targets()`` — the execution-scaling action space (Section V-C);
+- ``observe()`` — the runtime-variance readings before an inference;
+- ``execute(network, target)`` — run the inference, advance virtual time,
+  return the measured :class:`ExecutionResult`;
+- ``estimate(network, target, observation)`` — the deterministic nominal
+  model (no noise, no clock), which the prediction-based baselines fit and
+  the oracle searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigError, Stopwatch, make_rng
+from repro.env.executor import (
+    NoiseConfig,
+    local_execution,
+    partitioned_execution,
+    pipelined_local_execution,
+    remote_execution,
+)
+from repro.env.observation import Observation
+from repro.env.scenarios import build_scenario
+from repro.env.target import ExecutionTarget, Location, enumerate_targets
+from repro.hardware.devices import cloud_server, galaxy_tab_s6
+from repro.interference.model import InterferenceModel
+from repro.models.accuracy import DEFAULT_ACCURACY
+from repro.wireless.profiles import default_wifi, default_wifi_direct
+
+__all__ = ["EdgeCloudEnvironment"]
+
+#: Virtual think-time between consecutive inferences (ms); keeps dynamic
+#: scenarios' trace co-runners moving through their phases.
+_INTER_ARRIVAL_MS = 150.0
+
+
+class EdgeCloudEnvironment:
+    """A phone in an edge-cloud execution environment under a scenario.
+
+    Args:
+        device: the phone (a :class:`~repro.hardware.devices.Device`).
+        cloud: cloud server device; defaults to the Xeon+P100 node.
+            Pass ``False`` to remove the cloud path entirely.
+        connected: locally connected edge device; defaults to the Galaxy
+            Tab S6.  Pass ``False`` to remove it.
+        scenario: a :class:`~repro.env.scenarios.Scenario` or a Table-IV
+            id string; defaults to ``"S1"``.
+        wifi / p2p: radio links; default profiles from
+            ``repro.wireless.profiles``.
+        interference: contention model; defaults to one sharing the
+            device SoC's thermal model.
+        accuracy: the pre-measured accuracy table.
+        noise: ground-truth stochastic-variance magnitudes.
+        seed: RNG seed (or a Generator) for all stochasticity.
+    """
+
+    def __init__(self, device, cloud=None, connected=None, scenario="S1",
+                 wifi=None, p2p=None, interference=None,
+                 accuracy=DEFAULT_ACCURACY, noise=None, seed=None):
+        self.device = device
+        self.cloud = cloud_server() if cloud is None else (
+            None if cloud is False else cloud)
+        self.connected = galaxy_tab_s6() if connected is None else (
+            None if connected is False else connected)
+        if self.cloud is None and self.connected is None:
+            raise ConfigError(
+                "environment needs at least one remote system or none of "
+                "the paper's scale-out experiments can run; pass "
+                "cloud=False/connected=False only individually"
+            )
+        self.scenario = (build_scenario(scenario)
+                         if isinstance(scenario, str) else scenario)
+        self.wifi = wifi if wifi is not None else default_wifi()
+        self.p2p = p2p if p2p is not None else default_wifi_direct()
+        self.interference = interference if interference is not None else \
+            InterferenceModel(thermal=device.soc.thermal)
+        self.accuracy = accuracy
+        self.noise = noise if noise is not None else NoiseConfig()
+        self.rng = make_rng(seed)
+        self.clock = Stopwatch()
+        self._targets = enumerate_targets(device, self.cloud, self.connected)
+
+    # ------------------------------------------------------------------
+    # Action space and observations
+    # ------------------------------------------------------------------
+
+    def targets(self):
+        """The full execution-scaling action space for this setup."""
+        return self._targets
+
+    def observe(self):
+        """Sample the runtime variance at the current virtual time."""
+        load, rssi_wlan, rssi_p2p = self.scenario.sample(
+            self.rng, self.clock.now_ms
+        )
+        return Observation(
+            cpu_util=load.cpu_util,
+            mem_util=load.mem_util,
+            rssi_wlan_dbm=rssi_wlan,
+            rssi_p2p_dbm=rssi_p2p,
+            now_ms=self.clock.now_ms,
+        )
+
+    def reset(self, seed=None):
+        """Rewind the virtual clock (and optionally reseed)."""
+        self.clock.reset()
+        if seed is not None:
+            self.rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _remote_setup(self, target):
+        if target.location is Location.CLOUD:
+            if self.cloud is None:
+                raise ConfigError("no cloud system in this environment")
+            return self.cloud, self.wifi
+        if self.connected is None:
+            raise ConfigError("no connected edge device in this environment")
+        return self.connected, self.p2p
+
+    def _rssi_for(self, target, observation):
+        return (observation.rssi_wlan_dbm
+                if target.location is Location.CLOUD
+                else observation.rssi_p2p_dbm)
+
+    def _load_from(self, observation):
+        # Re-pack the observation into a CoRunnerLoad-compatible shape.
+        from repro.interference.corunner import CoRunnerLoad
+        return CoRunnerLoad(cpu_util=observation.cpu_util,
+                            mem_util=observation.mem_util)
+
+    def execute(self, network, target, observation=None):
+        """Run one inference and advance virtual time.
+
+        If ``observation`` is omitted, a fresh one is sampled — this is
+        the normal serving loop: observe, decide, execute.
+        """
+        if observation is None:
+            observation = self.observe()
+        result = self._run(network, target, observation, rng=self.rng)
+        self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+        return result
+
+    def estimate(self, network, target, observation):
+        """Deterministic nominal model: no noise, no clock advance."""
+        return self._run(network, target, observation, rng=None)
+
+    def _run(self, network, target, observation, rng):
+        load = self._load_from(observation)
+        if target.location is Location.LOCAL:
+            return local_execution(
+                self.device, network, target, load, self.interference,
+                self.accuracy, rng=rng, noise=self.noise,
+            )
+        remote, link = self._remote_setup(target)
+        return remote_execution(
+            self.device, remote, network, target, link,
+            self._rssi_for(target, observation), self.accuracy,
+            rng=rng, noise=self.noise,
+            load=load, interference=self.interference,
+        )
+
+    # ------------------------------------------------------------------
+    # Layer-granularity execution (baseline schedulers)
+    # ------------------------------------------------------------------
+
+    def execute_split(self, network, split_point, local_target,
+                      remote_target, observation=None, deterministic=False):
+        """NeuroSurgeon-style split execution (head local, tail remote)."""
+        if observation is None:
+            observation = self.observe()
+        rng = None if deterministic else self.rng
+        remote, link = self._remote_setup(remote_target)
+        result = partitioned_execution(
+            self.device, remote, network, split_point, local_target,
+            remote_target, link, self._rssi_for(remote_target, observation),
+            self._load_from(observation), self.interference, self.accuracy,
+            rng=rng, noise=self.noise,
+        )
+        if not deterministic:
+            self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+        return result
+
+    def execute_pipelined(self, network, segments, observation=None,
+                          deterministic=False):
+        """MOSAIC-style sliced execution across local processors."""
+        if observation is None:
+            observation = self.observe()
+        rng = None if deterministic else self.rng
+        result = pipelined_local_execution(
+            self.device, network, segments, self._load_from(observation),
+            self.interference, self.accuracy, rng=rng, noise=self.noise,
+        )
+        if not deterministic:
+            self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+        return result

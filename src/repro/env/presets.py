@@ -1,0 +1,107 @@
+"""Composite scenario presets beyond Table IV.
+
+Table IV's environments isolate one variance source at a time.  Real use
+mixes them; these presets compose the existing primitives into named
+day-in-the-life conditions for the examples and for stress-testing the
+scheduler:
+
+- :func:`commute` — walking with music playing: drifting Wi-Fi, light
+  steady co-runner.
+- :func:`office` — strong, stable Wi-Fi, bursty browser.
+- :func:`couch_gaming` — a heavy CPU+memory co-runner with perfect
+  connectivity (the S2+S3 combination Table IV never tests).
+- :func:`subway` — periodic total Wi-Fi outages over a weak baseline,
+  with no connected device in range either (weak P2P).
+"""
+
+from __future__ import annotations
+
+from repro.env.scenarios import Scenario
+from repro.interference.corunner import (
+    ConstantCoRunner,
+    CoRunnerLoad,
+    music_player,
+    no_corunner,
+    web_browser,
+)
+from repro.wireless.signal import (
+    ConstantSignal,
+    GaussianSignal,
+    OutageSignal,
+    RandomWalkSignal,
+)
+
+__all__ = ["commute", "office", "couch_gaming", "subway",
+           "PRESET_BUILDERS", "build_preset"]
+
+
+def commute():
+    """Walking commute: music + a Wi-Fi signal that comes and goes."""
+    return Scenario(
+        name="commute",
+        description="music player, drifting Wi-Fi while walking",
+        corunner=music_player(),
+        wlan_signal=RandomWalkSignal(mean_dbm=-74.0, std_db=8.0,
+                                     reversion=0.08),
+        p2p_signal=ConstantSignal(-60.0),
+        dynamic=True,
+    )
+
+
+def office():
+    """Desk work: rock-solid Wi-Fi, a busy browser."""
+    return Scenario(
+        name="office",
+        description="web browser co-runner on strong office Wi-Fi",
+        corunner=web_browser(),
+        wlan_signal=ConstantSignal(-50.0),
+        p2p_signal=ConstantSignal(-55.0),
+        dynamic=True,
+    )
+
+
+def couch_gaming():
+    """A game hogging CPU *and* memory — S2 and S3 at once."""
+    return Scenario(
+        name="couch_gaming",
+        description="CPU+memory-intensive game, strong home Wi-Fi",
+        corunner=ConstantCoRunner(
+            "game", CoRunnerLoad(cpu_util=0.85, mem_util=0.70)
+        ),
+        wlan_signal=ConstantSignal(-52.0),
+        p2p_signal=ConstantSignal(-58.0),
+    )
+
+
+def subway():
+    """Underground: noisy weak Wi-Fi with tunnel blackouts, no peers."""
+    return Scenario(
+        name="subway",
+        description="weak Wi-Fi with periodic tunnel outages, weak P2P",
+        corunner=no_corunner(),
+        wlan_signal=OutageSignal(
+            base=GaussianSignal(mean_dbm=-82.0, std_db=4.0),
+            period_ms=90_000.0, outage_ms=30_000.0,
+        ),
+        p2p_signal=ConstantSignal(-88.0),
+        dynamic=True,
+    )
+
+
+PRESET_BUILDERS = {
+    "commute": commute,
+    "office": office,
+    "couch_gaming": couch_gaming,
+    "subway": subway,
+}
+
+
+def build_preset(name):
+    """Build a composite preset by name."""
+    try:
+        return PRESET_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from "
+            f"{sorted(PRESET_BUILDERS)}"
+        ) from None

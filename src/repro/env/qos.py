@@ -1,0 +1,85 @@
+"""QoS targets and use cases (Section V-B).
+
+- Non-streaming vision (camera snapshot): 50 ms — the interactive-response
+  threshold below which users perceive no difference.
+- Streaming vision (live camera): 33.3 ms — one frame at 30 FPS.
+- Translation (keyboard input): 100 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common import ConfigError
+from repro.models.network import NeuralNetwork, Task
+
+__all__ = [
+    "QOS_NON_STREAMING_MS",
+    "QOS_STREAMING_MS",
+    "QOS_TRANSLATION_MS",
+    "UseCase",
+    "use_case_for",
+    "use_cases_for_zoo",
+]
+
+QOS_NON_STREAMING_MS = 50.0
+QOS_STREAMING_MS = 1000.0 / 30.0
+QOS_TRANSLATION_MS = 100.0
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """A network plus its QoS and inference-quality requirements."""
+
+    name: str
+    network: NeuralNetwork
+    qos_ms: float
+    accuracy_target: Optional[float] = None
+
+    def __post_init__(self):
+        if self.qos_ms <= 0:
+            raise ConfigError(f"{self.name}: QoS target must be positive")
+        if self.accuracy_target is not None:
+            if not 0.0 < self.accuracy_target <= 100.0:
+                raise ConfigError(
+                    f"{self.name}: accuracy target outside (0, 100]"
+                )
+
+    def meets_qos(self, latency_ms):
+        return latency_ms <= self.qos_ms
+
+    def meets_accuracy(self, accuracy_pct):
+        if self.accuracy_target is None:
+            return True
+        return accuracy_pct >= self.accuracy_target
+
+
+def use_case_for(network, streaming=False, accuracy_target=None):
+    """Build the use case the paper assigns to a network's task.
+
+    Vision networks get the non-streaming 50 ms target by default or the
+    30 FPS target when ``streaming``; MobileBERT-style translation always
+    gets 100 ms (there is no streaming translation scenario).
+    """
+    if network.task == Task.TRANSLATION:
+        qos, tag = QOS_TRANSLATION_MS, "translation"
+    elif streaming:
+        qos, tag = QOS_STREAMING_MS, "streaming"
+    else:
+        qos, tag = QOS_NON_STREAMING_MS, "non_streaming"
+    return UseCase(
+        name=f"{network.name}_{tag}",
+        network=network,
+        qos_ms=qos,
+        accuracy_target=accuracy_target,
+    )
+
+
+def use_cases_for_zoo(zoo, streaming=False, accuracy_target=None):
+    """Use cases for every network in a zoo dict, sorted by name."""
+    return [
+        use_case_for(zoo[name], streaming=streaming,
+                     accuracy_target=accuracy_target)
+        for name in sorted(zoo)
+    ]

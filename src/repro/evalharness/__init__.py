@@ -1,0 +1,113 @@
+"""Evaluation harness: metrics, runners, per-figure experiment drivers."""
+
+from repro.evalharness.characterization import (
+    fig2_characterization,
+    fig3_layer_latency,
+    fig4_accuracy_tradeoff,
+    fig5_interference,
+    fig6_signal,
+    fig7_predictors,
+    representative_targets,
+)
+from repro.evalharness.evaluation import (
+    DEFAULT_NETWORKS,
+    ablation_hyperparameters,
+    ablation_states,
+    baseline_suite,
+    fig9_main_results,
+    fig10_streaming,
+    fig11_dynamic,
+    fig12_accuracy_targets,
+    fig13_decisions,
+    fig14_convergence,
+    overhead_analysis,
+)
+from repro.evalharness.metrics import (
+    EpisodeStats,
+    decision_match,
+    mape,
+    misclassification_ratio,
+    ppw_ratio,
+    qos_violation_ratio,
+)
+from repro.evalharness.report import generate_report
+from repro.evalharness.reporting import format_kv, format_table
+from repro.evalharness.breakdown import (
+    EnergyBreakdown,
+    breakdown_table,
+    decompose_energy,
+)
+from repro.evalharness.calibration import run_calibration_checks
+from repro.evalharness.fleet import fleet_transfer_study
+from repro.evalharness.pareto import (
+    ParetoPoint,
+    design_space_analysis,
+    pareto_frontier,
+)
+from repro.evalharness.rl_comparison import compare_rl_designs
+from repro.evalharness.sweeps import (
+    epsilon_sweep,
+    interference_sweep,
+    qos_sweep,
+    signal_strength_sweep,
+)
+from repro.evalharness.tracing import TraceRecorder, load_trace
+from repro.evalharness.runner import (
+    RunConfig,
+    adapt_engine,
+    evaluate_autoscale,
+    evaluate_scheduler,
+    loo_train_and_evaluate,
+    train_autoscale,
+)
+
+__all__ = [
+    "fig2_characterization",
+    "fig3_layer_latency",
+    "fig4_accuracy_tradeoff",
+    "fig5_interference",
+    "fig6_signal",
+    "fig7_predictors",
+    "representative_targets",
+    "DEFAULT_NETWORKS",
+    "ablation_hyperparameters",
+    "ablation_states",
+    "baseline_suite",
+    "fig9_main_results",
+    "fig10_streaming",
+    "fig11_dynamic",
+    "fig12_accuracy_targets",
+    "fig13_decisions",
+    "fig14_convergence",
+    "overhead_analysis",
+    "EpisodeStats",
+    "decision_match",
+    "mape",
+    "misclassification_ratio",
+    "ppw_ratio",
+    "qos_violation_ratio",
+    "generate_report",
+    "format_kv",
+    "format_table",
+    "compare_rl_designs",
+    "run_calibration_checks",
+    "fleet_transfer_study",
+    "EnergyBreakdown",
+    "breakdown_table",
+    "decompose_energy",
+    "ParetoPoint",
+    "design_space_analysis",
+    "pareto_frontier",
+    "epsilon_sweep",
+    "interference_sweep",
+    "qos_sweep",
+    "signal_strength_sweep",
+    "TraceRecorder",
+    "load_trace",
+    "RunConfig",
+    "adapt_engine",
+    "evaluate_autoscale",
+    "evaluate_scheduler",
+    "loo_train_and_evaluate",
+    "train_autoscale",
+]

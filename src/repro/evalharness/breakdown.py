@@ -1,0 +1,112 @@
+"""Energy breakdown: where each decision's millijoules actually go.
+
+Whole-inference energies hide the structure the paper's models expose:
+a local run splits into processor-busy + host-idle + platform power; an
+offloaded run into TX + RX + radio-idle + radio-tail + platform.  This
+analyzer decomposes the nominal model's energy for any target, which is
+how the examples explain *why* a decision wins (e.g. "the cloud loses on
+the radio tail, not the transfer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.env.target import Location
+from repro.evalharness.reporting import format_table
+from repro.hardware.power import platform_energy_mj
+from repro.hardware.processor import ProcessorKind
+from repro.wireless.energy import transmission_energy_mj
+
+__all__ = ["EnergyBreakdown", "decompose_energy", "breakdown_table"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy of one nominal execution."""
+
+    target_key: str
+    latency_ms: float
+    components_mj: Dict[str, float]
+
+    @property
+    def total_mj(self):
+        return sum(self.components_mj.values())
+
+    def share(self, component):
+        """Fraction of the total a component accounts for."""
+        return self.components_mj.get(component, 0.0) / self.total_mj
+
+    def dominant_component(self):
+        return max(self.components_mj, key=self.components_mj.get)
+
+
+def decompose_energy(environment, network, target, observation):
+    """Decompose the nominal-model energy of (network, target).
+
+    Local targets: ``compute`` (busy processor), ``host_idle`` (the CPU
+    idling while a co-processor runs), ``platform`` (always-on rails).
+    Remote targets: ``tx``, ``rx``, ``radio_idle``, ``radio_tail``,
+    ``platform``, ``host_idle``.
+    """
+    device = environment.device
+    nominal = environment.estimate(network, target, observation)
+    latency = nominal.latency_ms
+    components: Dict[str, float] = {
+        "platform": platform_energy_mj(device.soc.platform_idle_mw,
+                                       latency),
+    }
+    if target.location is Location.LOCAL:
+        proc = device.soc.processor(target.role)
+        if proc.kind is ProcessorKind.CPU:
+            host_idle = 0.0
+        else:
+            host_idle = device.soc.cpu.idle_power_mw * latency / 1000.0
+        components["host_idle"] = host_idle
+        components["compute"] = (nominal.energy_mj
+                                 - components["platform"] - host_idle)
+    else:
+        link = (environment.wifi if target.location is Location.CLOUD
+                else environment.p2p)
+        rssi = (observation.rssi_wlan_dbm
+                if target.location is Location.CLOUD
+                else observation.rssi_p2p_dbm)
+        radio = transmission_energy_mj(
+            link, rssi, network.input_bytes, network.output_bytes,
+            latency,
+        )
+        components["tx"] = radio.tx_energy_mj
+        components["rx"] = radio.rx_energy_mj
+        components["radio_idle"] = radio.idle_energy_mj
+        components["radio_tail"] = radio.tail_energy_mj
+        components["host_idle"] = (device.soc.cpu.idle_power_mw
+                                   * latency / 1000.0)
+    return EnergyBreakdown(
+        target_key=target.key,
+        latency_ms=latency,
+        components_mj=components,
+    )
+
+
+def breakdown_table(environment, network, targets, observation,
+                    title=None):
+    """Side-by-side breakdown of several targets."""
+    breakdowns = [decompose_energy(environment, network, target,
+                                   observation)
+                  for target in targets]
+    component_names = sorted({name for b in breakdowns
+                              for name in b.components_mj})
+    rows = []
+    for breakdown in breakdowns:
+        rows.append(
+            [breakdown.target_key, breakdown.total_mj]
+            + [breakdown.components_mj.get(name, 0.0)
+               for name in component_names]
+        )
+    table = format_table(
+        ["target", "total (mJ)"] + [f"{n} (mJ)" for n in component_names],
+        rows,
+        title=title or f"Energy breakdown: {network.name}",
+    )
+    return {"breakdowns": breakdowns, "table": table}

@@ -1,0 +1,137 @@
+"""Metrics used throughout the paper's evaluation.
+
+- **PPW** (performance per watt) — for single inferences this reduces to
+  inferences per joule; figures always report it *normalized* to a named
+  baseline, so we provide ratio helpers.
+- **QoS violation ratio** — fraction of inferences exceeding the target.
+- **MAPE** — mean absolute percentage error of a predictor (Fig. 7).
+- **Misclassification ratio** — for the classification baselines.
+- **Prediction accuracy** — how often a scheduler's decision matches the
+  oracle's, counting near-ties (energy within 1%) as matches, exactly the
+  criterion under which the paper reports 97.9% (Fig. 13: AutoScale
+  "mis-predicts the optimal target only when the energy difference ...
+  is less than 1%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common import ConfigError
+
+__all__ = [
+    "EpisodeStats",
+    "mape",
+    "misclassification_ratio",
+    "ppw_ratio",
+    "qos_violation_ratio",
+    "decision_match",
+]
+
+
+def mape(predicted, measured):
+    """Mean absolute percentage error, in percent."""
+    predicted = np.asarray(predicted, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if predicted.shape != measured.shape:
+        raise ConfigError("prediction/measurement shape mismatch")
+    if len(predicted) == 0:
+        raise ConfigError("empty MAPE input")
+    if np.any(measured <= 0):
+        raise ConfigError("measured values must be positive")
+    return float(np.mean(np.abs(predicted - measured) / measured) * 100.0)
+
+
+def misclassification_ratio(predicted_labels, true_labels):
+    """Fraction of label mismatches, in percent."""
+    if len(predicted_labels) != len(true_labels):
+        raise ConfigError("label list length mismatch")
+    if not predicted_labels:
+        raise ConfigError("empty label lists")
+    wrong = sum(1 for p, t in zip(predicted_labels, true_labels) if p != t)
+    return wrong / len(predicted_labels) * 100.0
+
+
+def qos_violation_ratio(latencies_ms, qos_ms):
+    """Fraction of inferences over the QoS target, in percent."""
+    latencies = np.asarray(latencies_ms, dtype=float)
+    if len(latencies) == 0:
+        raise ConfigError("no latencies")
+    return float(np.mean(latencies > qos_ms) * 100.0)
+
+
+def ppw_ratio(baseline_energy_mj, candidate_energy_mj):
+    """PPW of the candidate normalized to the baseline.
+
+    Since PPW is proportional to 1/energy for a fixed workload, the ratio
+    is baseline energy over candidate energy — ">1" means the candidate
+    is more energy-efficient.
+    """
+    if baseline_energy_mj <= 0 or candidate_energy_mj <= 0:
+        raise ConfigError("energies must be positive")
+    return baseline_energy_mj / candidate_energy_mj
+
+
+def decision_match(chosen_energy_mj, optimal_energy_mj, tolerance=0.01):
+    """Whether a decision counts as "optimal" under the 1% criterion."""
+    if optimal_energy_mj <= 0:
+        raise ConfigError("optimal energy must be positive")
+    return (chosen_energy_mj
+            <= optimal_energy_mj * (1.0 + tolerance) + 1e-12)
+
+
+@dataclass
+class EpisodeStats:
+    """Accumulated measurements of one (scheduler, use case, scenario) run."""
+
+    scheduler: str
+    use_case: str
+    scenario: str
+    energies_mj: List[float] = field(default_factory=list)
+    latencies_ms: List[float] = field(default_factory=list)
+    qos_ms: float = 0.0
+    decisions: Dict[str, int] = field(default_factory=dict)
+    oracle_matches: int = 0
+    oracle_checked: int = 0
+
+    def record(self, result, matched_oracle=None):
+        self.energies_mj.append(result.energy_mj)
+        self.latencies_ms.append(result.latency_ms)
+        self.decisions[result.target_key] = \
+            self.decisions.get(result.target_key, 0) + 1
+        if matched_oracle is not None:
+            self.oracle_checked += 1
+            self.oracle_matches += int(matched_oracle)
+
+    @property
+    def num_inferences(self):
+        return len(self.energies_mj)
+
+    @property
+    def mean_energy_mj(self):
+        if not self.energies_mj:
+            raise ConfigError("no inferences recorded")
+        return float(np.mean(self.energies_mj))
+
+    @property
+    def mean_latency_ms(self):
+        return float(np.mean(self.latencies_ms))
+
+    @property
+    def qos_violation_pct(self):
+        return qos_violation_ratio(self.latencies_ms, self.qos_ms)
+
+    @property
+    def prediction_accuracy_pct(self):
+        if self.oracle_checked == 0:
+            return float("nan")
+        return self.oracle_matches / self.oracle_checked * 100.0
+
+    def decision_shares(self):
+        """Fraction of decisions per target key."""
+        total = sum(self.decisions.values())
+        return {key: count / total
+                for key, count in sorted(self.decisions.items())}

@@ -1,0 +1,90 @@
+"""One-call reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` persists every regenerated
+table under ``benchmarks/results/``; this module stitches those artifacts
+into a single Markdown report (default: ``REPORT.md``) so a reader gets
+the whole reproduction in one file, in the paper's figure order.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+
+from repro.common import ConfigError
+
+__all__ = ["generate_report", "RESULT_ORDER"]
+
+#: Paper order first, then the analysis extensions.
+RESULT_ORDER = (
+    ("fig02_characterization", "Fig. 2 — varying optimal execution target"),
+    ("fig03_layer_latency", "Fig. 3 — per-layer-type latency"),
+    ("fig04_accuracy", "Fig. 4 — accuracy targets shift the optimum"),
+    ("fig05_interference", "Fig. 5 — co-runner interference"),
+    ("fig06_signal", "Fig. 6 — signal strength"),
+    ("fig07_predictors", "Fig. 7 — prediction-based approaches"),
+    ("fig09_main", "Fig. 9 — main result (static environments)"),
+    ("fig10_streaming", "Fig. 10 — streaming scenario"),
+    ("fig11_dynamic", "Fig. 11 — stochastic variance"),
+    ("fig12_accuracy_targets", "Fig. 12 — inference-quality targets"),
+    ("fig13_decisions", "Fig. 13 — decision distribution"),
+    ("fig14_convergence", "Fig. 14 — convergence and transfer"),
+    ("overhead", "Section VI-C — overhead analysis"),
+    ("ablation_states", "Ablation — state features"),
+    ("ablation_hyperparameters", "Ablation — hyperparameters"),
+    ("ablation_reward", "Ablation — reward shaping"),
+    ("ablation_rl_designs", "Ablation — RL designs (Section IV)"),
+    ("extension_npu", "Extension — NPU/TPU actions (Section V-C)"),
+    ("fleet_transfer", "Extension — fleet transfer study"),
+    ("calibration", "Calibration self-test"),
+    ("pareto_inception_v1", "Analysis — Pareto frontier"),
+    ("sweep_signal_resnet50", "Analysis — signal-strength sweep"),
+    ("sweep_qos_inception_v1", "Analysis — QoS sweep"),
+)
+
+
+def generate_report(results_dir, output_path=None, strict=False):
+    """Assemble the Markdown report from persisted benchmark tables.
+
+    Args:
+        results_dir: the ``benchmarks/results`` directory.
+        output_path: where to write; defaults to ``REPORT.md`` next to
+            the results directory's parent.
+        strict: raise if any expected artifact is missing (otherwise the
+            section is marked "not yet generated").
+
+    Returns the output path.
+    """
+    results_dir = pathlib.Path(results_dir)
+    if not results_dir.is_dir():
+        raise ConfigError(f"no results directory at {results_dir}")
+    if output_path is None:
+        output_path = results_dir.parent.parent / "REPORT.md"
+    output_path = pathlib.Path(output_path)
+
+    lines = [
+        "# AutoScale reproduction report",
+        "",
+        f"Generated {datetime.date.today().isoformat()} from "
+        f"`{results_dir}`.  Regenerate the inputs with "
+        "`pytest benchmarks/ --benchmark-only`; see EXPERIMENTS.md for "
+        "the paper-vs-measured discussion of every section below.",
+        "",
+    ]
+    missing = []
+    for stem, heading in RESULT_ORDER:
+        path = results_dir / f"{stem}.txt"
+        lines.append(f"## {heading}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+        else:
+            missing.append(stem)
+            lines.append("*not yet generated — run the benchmarks*")
+        lines.append("")
+    if strict and missing:
+        raise ConfigError(f"missing benchmark artifacts: {missing}")
+    output_path.write_text("\n".join(lines))
+    return output_path

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs, title=None):
+    """Render key/value lines (for scalar summaries)."""
+    lines = [title] if title else []
+    width = max(len(str(k)) for k, _ in pairs) if pairs else 0
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,185 @@
+"""Experiment runner: the paper's training/evaluation protocol.
+
+Section V-C: to cover the design space, AutoScale trains with repeated
+inference runs for each network in each runtime-variance state; testing
+uses *leave-one-out cross-validation* across the networks — the Q-table
+used to test a network was trained on the other nine.  Because AutoScale
+is a continuous learner, testing starts from the transferred table, adapts
+online until the reward converges, then the trained table is used greedily
+(Section IV-B) while measurements are taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.oracle import OptOracle
+from repro.common import ConfigError, make_rng
+from repro.core.engine import AutoScale
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.scenarios import build_scenario
+from repro.evalharness.metrics import EpisodeStats, decision_match
+
+__all__ = [
+    "RunConfig",
+    "train_autoscale",
+    "adapt_engine",
+    "evaluate_autoscale",
+    "evaluate_scheduler",
+    "loo_train_and_evaluate",
+]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Episode sizes for training and evaluation.
+
+    The paper trains with 100 runs per network per variance state; the
+    defaults here are scaled for simulation-speed experiments and can be
+    raised to paper scale by the benchmarks.
+    """
+
+    train_runs: int = 40
+    adapt_runs: int = 50
+    eval_runs: int = 30
+    #: Dynamic (D1-D4) scenarios interleave several runtime-variance
+    #: states within one episode, so each state sees only a fraction of
+    #: the adaptation budget; scale the budget up so each state still
+    #: receives roughly the paper's per-state training (the paper trains
+    #: 100 runs per network per variance state and notes dynamic
+    #: environments converge ~9% slower).
+    dynamic_adapt_scale: float = 6.0
+
+    def __post_init__(self):
+        if min(self.train_runs, self.adapt_runs, self.eval_runs) < 1:
+            raise ConfigError("run counts must be >= 1")
+        if self.dynamic_adapt_scale < 1.0:
+            raise ConfigError("dynamic_adapt_scale must be >= 1")
+
+    def adapt_budget(self, scenario):
+        """Adaptation runs for a scenario (scaled up when dynamic)."""
+        if getattr(scenario, "dynamic", False):
+            return int(self.adapt_runs * self.dynamic_adapt_scale)
+        return self.adapt_runs
+
+
+def train_autoscale(engine, use_cases, scenarios=("S1",),
+                    runs_per_case=40):
+    """Train an engine across use cases and Table-IV scenarios.
+
+    The engine's environment is switched through each scenario; within a
+    scenario every use case gets ``runs_per_case`` Algorithm-1 cycles.
+    """
+    env = engine.environment
+    for scenario_name in scenarios:
+        env.scenario = build_scenario(scenario_name) \
+            if isinstance(scenario_name, str) else scenario_name
+        env.clock.reset()
+        for use_case in use_cases:
+            engine.run(use_case, runs_per_case)
+    return engine
+
+
+def adapt_engine(engine, use_case, max_runs=50,
+                 stop_on_convergence=True):
+    """Online adaptation on a (possibly unseen) use case.
+
+    Stops early once the reward converges unless
+    ``stop_on_convergence=False`` — in *dynamic* environments the
+    detector converges on the most frequent variance state long before
+    the rare states are trained, so those runs must use the full budget.
+    """
+    engine.unfreeze()
+    engine.convergence.reset()
+    for _ in range(max_runs):
+        engine.step(use_case)
+        if stop_on_convergence and engine.converged:
+            break
+    return engine.convergence.converged_at
+
+
+def evaluate_autoscale(engine, use_case, eval_runs=30, oracle=None,
+                       scenario=None):
+    """Frozen greedy evaluation; optionally scores against the oracle."""
+    env = engine.environment
+    if scenario is not None:
+        env.scenario = build_scenario(scenario) \
+            if isinstance(scenario, str) else scenario
+        env.clock.reset()
+    engine.freeze()
+    stats = EpisodeStats(
+        scheduler="autoscale", use_case=use_case.name,
+        scenario=env.scenario.name, qos_ms=use_case.qos_ms,
+    )
+    for _ in range(eval_runs):
+        observation = env.observe()
+        matched = None
+        if oracle is not None:
+            chosen = engine.predict(use_case.network, observation)
+            optimal = oracle.select(
+                env, use_case, observation,
+                state_key=engine.observe_state(use_case.network,
+                                               observation),
+            )
+            chosen_nominal = env.estimate(use_case.network, chosen,
+                                          observation)
+            optimal_nominal = env.estimate(use_case.network, optimal,
+                                           observation)
+            matched = decision_match(chosen_nominal.energy_mj,
+                                     optimal_nominal.energy_mj)
+        step = engine.step(use_case, observation)
+        stats.record(step.result, matched)
+    engine.unfreeze()
+    return stats
+
+
+def evaluate_scheduler(environment, scheduler, use_case, eval_runs=30,
+                       scenario=None):
+    """Measure any baseline scheduler over an episode."""
+    if scenario is not None:
+        environment.scenario = build_scenario(scenario) \
+            if isinstance(scenario, str) else scenario
+        environment.clock.reset()
+    stats = EpisodeStats(
+        scheduler=scheduler.name, use_case=use_case.name,
+        scenario=environment.scenario.name, qos_ms=use_case.qos_ms,
+    )
+    for _ in range(eval_runs):
+        observation = environment.observe()
+        result = scheduler.execute(environment, use_case, observation)
+        stats.record(result)
+    return stats
+
+
+def loo_train_and_evaluate(device_builder, use_cases, test_case,
+                           scenarios=("S1",), config=RunConfig(),
+                           seed=0, oracle=True, engine_kwargs=None):
+    """The paper's leave-one-out protocol for one held-out use case.
+
+    Trains a fresh engine on every use case *except* ``test_case`` across
+    ``scenarios``, then — per scenario — adapts online on the held-out
+    case until convergence and evaluates the frozen table.
+
+    Returns ``(engine, {scenario_name: EpisodeStats})``.
+    """
+    training_cases = [case for case in use_cases
+                      if case.name != test_case.name]
+    env = EdgeCloudEnvironment(device_builder(), scenario=scenarios[0],
+                               seed=seed)
+    engine = AutoScale(env, seed=seed, **(engine_kwargs or {}))
+    train_autoscale(engine, training_cases, scenarios,
+                    config.train_runs)
+    opt = OptOracle() if oracle else None
+    results = {}
+    for scenario_name in scenarios:
+        env.scenario = build_scenario(scenario_name)
+        env.clock.reset()
+        adapt_engine(
+            engine, test_case, config.adapt_budget(env.scenario),
+            stop_on_convergence=not env.scenario.dynamic,
+        )
+        results[scenario_name] = evaluate_autoscale(
+            engine, test_case, config.eval_runs, oracle=opt,
+        )
+    return engine, results

@@ -1,0 +1,185 @@
+"""Execution tracing: record, persist, and analyze inference streams.
+
+A deployed scheduler needs observability: which targets ran, what they
+cost, where deadlines were missed, and how decisions moved as conditions
+changed.  :class:`TraceRecorder` captures one record per inference from
+an engine's steps (or any scheduler's results), round-trips through JSONL,
+and produces the summaries the examples print.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common import ConfigError
+
+__all__ = ["TraceRecord", "TraceRecorder", "load_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One inference, flattened for persistence."""
+
+    index: int
+    at_ms: float
+    use_case: str
+    target_key: str
+    latency_ms: float
+    energy_mj: float
+    estimated_energy_mj: float
+    accuracy_pct: float
+    qos_ms: float
+    reward: Optional[float] = None
+    explored: Optional[bool] = None
+
+    @property
+    def meets_qos(self):
+        return self.latency_ms <= self.qos_ms
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries and analyzes them."""
+
+    def __init__(self):
+        self.records: List[TraceRecord] = []
+
+    def __len__(self):
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def record_step(self, step, use_case, at_ms=None):
+        """Capture one engine :class:`AutoScaleStep`."""
+        result = step.result
+        self.records.append(TraceRecord(
+            index=len(self.records),
+            at_ms=float(at_ms if at_ms is not None else len(self.records)),
+            use_case=use_case.name,
+            target_key=step.target_key,
+            latency_ms=result.latency_ms,
+            energy_mj=result.energy_mj,
+            estimated_energy_mj=result.estimated_energy_mj,
+            accuracy_pct=result.accuracy_pct,
+            qos_ms=use_case.qos_ms,
+            reward=step.reward,
+            explored=step.explored,
+        ))
+        return self.records[-1]
+
+    def record_result(self, result, use_case, at_ms=None):
+        """Capture a bare :class:`ExecutionResult` (baseline schedulers)."""
+        self.records.append(TraceRecord(
+            index=len(self.records),
+            at_ms=float(at_ms if at_ms is not None else len(self.records)),
+            use_case=use_case.name,
+            target_key=result.target_key,
+            latency_ms=result.latency_ms,
+            energy_mj=result.energy_mj,
+            estimated_energy_mj=result.estimated_energy_mj,
+            accuracy_pct=result.accuracy_pct,
+            qos_ms=use_case.qos_ms,
+        ))
+        return self.records[-1]
+
+    # ------------------------------------------------------------------
+    # Persistence (JSONL)
+    # ------------------------------------------------------------------
+
+    def save(self, path):
+        """Write one JSON object per line."""
+        path = pathlib.Path(path)
+        with path.open("w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(asdict(record)) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def _require_records(self):
+        if not self.records:
+            raise ConfigError("trace is empty")
+
+    def summary(self):
+        """Aggregate energy/latency/violation statistics."""
+        self._require_records()
+        energies = np.array([r.energy_mj for r in self.records])
+        latencies = np.array([r.latency_ms for r in self.records])
+        violations = sum(1 for r in self.records if not r.meets_qos)
+        return {
+            "num_inferences": len(self.records),
+            "total_energy_mj": float(energies.sum()),
+            "mean_energy_mj": float(energies.mean()),
+            "p95_latency_ms": float(np.percentile(latencies, 95)),
+            "qos_violation_pct": violations / len(self.records) * 100.0,
+        }
+
+    def decisions_by_location(self):
+        """Share of decisions per location (local/cloud/connected)."""
+        self._require_records()
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            location = record.target_key.split("/")[0]
+            counts[location] = counts.get(location, 0) + 1
+        total = len(self.records)
+        return {k: v / total for k, v in sorted(counts.items())}
+
+    def migrations(self):
+        """Indices where the chosen target changed from the previous
+        inference of the *same use case* — how often the scheduler moved
+        work around."""
+        self._require_records()
+        last: Dict[str, str] = {}
+        moved = []
+        for record in self.records:
+            previous = last.get(record.use_case)
+            if previous is not None and previous != record.target_key:
+                moved.append(record.index)
+            last[record.use_case] = record.target_key
+        return moved
+
+    def violation_runs(self):
+        """Lengths of consecutive QoS-violation stretches."""
+        self._require_records()
+        runs, current = [], 0
+        for record in self.records:
+            if record.meets_qos:
+                if current:
+                    runs.append(current)
+                current = 0
+            else:
+                current += 1
+        if current:
+            runs.append(current)
+        return runs
+
+    def estimator_mape_pct(self):
+        """MAPE of the engine's energy estimates over this trace."""
+        self._require_records()
+        predicted = np.array([r.estimated_energy_mj for r in self.records])
+        measured = np.array([r.energy_mj for r in self.records])
+        return float(np.mean(np.abs(predicted - measured) / measured)
+                     * 100.0)
+
+
+def load_trace(path):
+    """Read a JSONL trace back into a :class:`TraceRecorder`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigError(f"no trace at {path}")
+    recorder = TraceRecorder()
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            recorder.records.append(TraceRecord(**json.loads(line)))
+    return recorder

@@ -1,0 +1,56 @@
+"""Hardware substrate: processors, DVFS, power models, thermal, devices."""
+
+from repro.hardware.devices import (
+    DEVICE_BUILDERS,
+    PHONE_NAMES,
+    Device,
+    DeviceClass,
+    build_device,
+    cloud_server,
+    cloud_server_tpu,
+    galaxy_s10e,
+    galaxy_tab_s6,
+    mi8pro,
+    mi8pro_npu,
+    moto_x_force,
+)
+from repro.hardware.battery import Battery, projected_runtime_hours
+from repro.hardware.dvfs import VFStep, build_vf_table
+from repro.hardware.power import (
+    busy_idle_energy_mj,
+    cpu_energy_mj,
+    dsp_energy_mj,
+    gpu_energy_mj,
+    platform_energy_mj,
+)
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.hardware.soc import MobileSoC
+from repro.hardware.thermal import ThermalModel
+
+__all__ = [
+    "DEVICE_BUILDERS",
+    "PHONE_NAMES",
+    "Device",
+    "DeviceClass",
+    "build_device",
+    "cloud_server",
+    "cloud_server_tpu",
+    "galaxy_s10e",
+    "galaxy_tab_s6",
+    "mi8pro",
+    "mi8pro_npu",
+    "moto_x_force",
+    "Battery",
+    "projected_runtime_hours",
+    "VFStep",
+    "build_vf_table",
+    "busy_idle_energy_mj",
+    "cpu_energy_mj",
+    "dsp_energy_mj",
+    "gpu_energy_mj",
+    "platform_energy_mj",
+    "Processor",
+    "ProcessorKind",
+    "MobileSoC",
+    "ThermalModel",
+]

@@ -1,0 +1,98 @@
+"""Battery model: what the energy savings buy the user.
+
+The paper's motivation is that mobile devices are *energy constrained* —
+every millijoule AutoScale saves extends the time between charges.  This
+module converts per-inference energies into battery terms: a
+:class:`Battery` tracks drain against a capacity, and
+:func:`projected_runtime_hours` turns an inference workload profile into
+a battery-life estimate, which the ``battery_life`` example uses to
+translate Fig. 9's PPW ratios into hours of service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import ConfigError
+
+__all__ = ["Battery", "projected_runtime_hours", "DEFAULT_PHONE_BATTERY"]
+
+
+@dataclass
+class Battery:
+    """A simple coulomb-counting battery.
+
+    Attributes:
+        capacity_mah: rated capacity.
+        voltage_v: nominal pack voltage (energy = capacity x voltage).
+        drained_mj: energy drawn so far.
+    """
+
+    capacity_mah: float = 3500.0
+    voltage_v: float = 3.85
+    drained_mj: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ConfigError("battery capacity and voltage must be "
+                              "positive")
+        if self.drained_mj < 0:
+            raise ConfigError("negative drained energy")
+
+    @property
+    def capacity_mj(self):
+        """Total energy content in millijoules.
+
+        mAh x V x 3.6 gives joules; x1000 gives mJ.
+        """
+        return self.capacity_mah * self.voltage_v * 3.6 * 1000.0
+
+    @property
+    def remaining_mj(self):
+        return max(0.0, self.capacity_mj - self.drained_mj)
+
+    @property
+    def remaining_fraction(self):
+        return self.remaining_mj / self.capacity_mj
+
+    @property
+    def is_empty(self):
+        return self.remaining_mj <= 0.0
+
+    def drain(self, energy_mj):
+        """Draw energy; returns the remaining fraction."""
+        if energy_mj < 0:
+            raise ConfigError(f"cannot drain {energy_mj} mJ")
+        self.drained_mj += energy_mj
+        return self.remaining_fraction
+
+    def recharge(self):
+        self.drained_mj = 0.0
+
+
+def projected_runtime_hours(battery, energy_per_inference_mj,
+                            inferences_per_hour,
+                            background_power_mw=0.0):
+    """Hours until empty for a steady inference workload.
+
+    Args:
+        battery: a (fresh) :class:`Battery`.
+        energy_per_inference_mj: mean per-inference system energy.
+        inferences_per_hour: workload intensity.
+        background_power_mw: non-inference drain (idle screen-off
+            platform power etc.).
+    """
+    if energy_per_inference_mj < 0 or inferences_per_hour < 0:
+        raise ConfigError("workload parameters must be non-negative")
+    drain_per_hour_mj = (
+        energy_per_inference_mj * inferences_per_hour
+        + background_power_mw * 3600.0  # mW x s = mJ
+    )
+    if drain_per_hour_mj <= 0:
+        raise ConfigError("workload draws no energy; runtime is unbounded")
+    return battery.remaining_mj / drain_per_hour_mj
+
+
+#: A typical flagship-phone battery (the Mi8Pro ships ~3000 mAh; we use a
+#: round 3500 mAh pack as the reference).
+DEFAULT_PHONE_BATTERY = Battery

@@ -1,0 +1,324 @@
+"""The five evaluation platforms (Table II and Section V-A).
+
+The three phones span the paper's market tiers:
+
+- **Mi8Pro** — high-end with GPU *and* an NN-capable DSP;
+- **Galaxy S10e** — high-end with GPU but no DSP;
+- **Moto X Force** — mid-end, whose SoC cannot meet the QoS target even
+  for light networks (which is what makes scale-out mandatory for it).
+
+Plus the **Galaxy Tab S6** as the locally connected edge device and the
+Xeon E5-2640 + Tesla P100 **cloud server**.
+
+Throughput/power calibration: Table II's published clocks, V/F step counts
+and peak system powers are used directly; effective GMAC/s rates are chosen
+so the per-network latencies land in the publicly reported ranges for these
+SoCs and, crucially, so the paper's orderings hold (light NNs meet 50 ms on
+the high-end phones but not on the Moto; ResNet-50-class networks miss the
+QoS target on every phone; FC/RC-heavy networks prefer the CPU).  The
+cloud-server power numbers are placeholders — the paper (and this
+reproduction) only accounts the *mobile* system's energy, measured at the
+phone, so server power never enters any result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common import ConfigError
+from repro.hardware.dvfs import build_vf_table
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.hardware.soc import MobileSoC
+from repro.models.layers import LayerType
+from repro.models.quantization import Precision
+
+__all__ = [
+    "DeviceClass",
+    "Device",
+    "mi8pro",
+    "galaxy_s10e",
+    "moto_x_force",
+    "galaxy_tab_s6",
+    "cloud_server",
+    "mi8pro_npu",
+    "cloud_server_tpu",
+    "build_device",
+    "PHONE_NAMES",
+    "DEVICE_BUILDERS",
+]
+
+
+class DeviceClass(enum.Enum):
+    """Where a device sits in the edge-cloud hierarchy."""
+
+    PHONE = "phone"
+    TABLET = "tablet"
+    SERVER = "server"
+
+
+@dataclass(frozen=True)
+class Device:
+    """A named platform with a SoC."""
+
+    name: str
+    device_class: DeviceClass
+    soc: MobileSoC
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigError("device needs a name")
+
+    @property
+    def is_mobile(self):
+        return self.device_class is not DeviceClass.SERVER
+
+
+def _cpu(name, steps, max_mhz, peak_gmacs, busy_mw, idle_mw, int8_mult,
+         num_cores=4):
+    return Processor(
+        name=name, kind=ProcessorKind.CPU,
+        vf_table=build_vf_table(steps, max_mhz),
+        peak_gmacs=peak_gmacs,
+        precisions={Precision.FP32: 1.0, Precision.INT8: int8_mult},
+        busy_power_mw=busy_mw, idle_power_mw=idle_mw, num_cores=num_cores,
+    )
+
+
+def _gpu(name, steps, max_mhz, peak_gmacs, busy_mw, idle_mw, fp16_mult,
+         dispatch_ms=0.15):
+    return Processor(
+        name=name, kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(steps, max_mhz),
+        peak_gmacs=peak_gmacs,
+        precisions={Precision.FP32: 1.0, Precision.FP16: fp16_mult},
+        busy_power_mw=busy_mw, idle_power_mw=idle_mw,
+        dispatch_ms=dispatch_ms,
+    )
+
+
+def _dsp(name, max_mhz, peak_gmacs, busy_mw, idle_mw):
+    # Mobile DSPs in the paper run INT8 only and do not expose DVFS.
+    return Processor(
+        name=name, kind=ProcessorKind.DSP,
+        vf_table=build_vf_table(1, max_mhz),
+        peak_gmacs=peak_gmacs,
+        precisions={Precision.INT8: 1.0},
+        busy_power_mw=busy_mw, idle_power_mw=idle_mw,
+        layer_efficiency={
+            LayerType.CONV: 0.90, LayerType.FC: 0.04, LayerType.RC: 0.03,
+            LayerType.POOL: 0.75, LayerType.NORM: 0.70,
+            LayerType.SOFTMAX: 0.35, LayerType.ARGMAX: 0.35,
+            LayerType.DROPOUT: 0.85,
+        },
+    )
+
+
+def _gpu_fc_poor():
+    """Mobile-GPU layer efficiencies: CONV machines, weak on FC/RC."""
+    return {
+        LayerType.CONV: 0.95, LayerType.FC: 0.05, LayerType.RC: 0.06,
+        LayerType.POOL: 0.85, LayerType.NORM: 0.80,
+        LayerType.SOFTMAX: 0.40, LayerType.ARGMAX: 0.40,
+        LayerType.DROPOUT: 0.90,
+    }
+
+
+def mi8pro():
+    """Xiaomi Mi8Pro: Snapdragon 845 — CPU + GPU + DSP (Table II row 1)."""
+    gpu = Processor(
+        name="adreno_630", kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(7, 700),
+        peak_gmacs=30.0,
+        precisions={Precision.FP32: 1.0, Precision.FP16: 1.8},
+        busy_power_mw=1000.0, idle_power_mw=150.0,
+        layer_efficiency=_gpu_fc_poor(), dispatch_ms=0.15,
+    )
+    soc = MobileSoC(
+        name="snapdragon_845",
+        processors={
+            "cpu": _cpu("cortex_a75", 23, 2800, 12.0, 4700, 300, 3.0),
+            "gpu": gpu,
+            "dsp": _dsp("hexagon_685", 750, 60.0, 950, 100),
+        },
+        platform_idle_mw=500.0, dram_gb=6.0,
+    )
+    return Device("mi8pro", DeviceClass.PHONE, soc)
+
+
+def galaxy_s10e():
+    """Samsung Galaxy S10e: Exynos 9820 — CPU + GPU, no DSP (row 2)."""
+    gpu = Processor(
+        name="mali_g76", kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(9, 700),
+        peak_gmacs=26.0,
+        precisions={Precision.FP32: 1.0, Precision.FP16: 1.8},
+        busy_power_mw=1500.0, idle_power_mw=150.0,
+        layer_efficiency=_gpu_fc_poor(), dispatch_ms=0.15,
+    )
+    soc = MobileSoC(
+        name="exynos_9820",
+        processors={
+            "cpu": _cpu("mongoose_m4", 21, 2700, 13.0, 4800, 300, 3.0),
+            "gpu": gpu,
+        },
+        platform_idle_mw=520.0, dram_gb=6.0,
+    )
+    return Device("galaxy_s10e", DeviceClass.PHONE, soc)
+
+
+def moto_x_force():
+    """Motorola Moto X Force: Snapdragon 810 — mid-end CPU + GPU (row 3)."""
+    gpu = Processor(
+        name="adreno_430", kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(6, 600),
+        peak_gmacs=10.0,
+        precisions={Precision.FP32: 1.0, Precision.FP16: 1.6},
+        busy_power_mw=1300.0, idle_power_mw=150.0,
+        layer_efficiency=_gpu_fc_poor(), dispatch_ms=0.2,
+    )
+    soc = MobileSoC(
+        name="snapdragon_810",
+        processors={
+            "cpu": _cpu("cortex_a57", 15, 1900, 5.0, 2800, 250, 2.0),
+            "gpu": gpu,
+        },
+        platform_idle_mw=480.0, dram_gb=3.0,
+    )
+    return Device("moto_x_force", DeviceClass.PHONE, soc)
+
+
+def galaxy_tab_s6():
+    """Samsung Galaxy Tab S6: Snapdragon 855 — the connected edge device."""
+    gpu = Processor(
+        name="adreno_640", kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(8, 670),
+        peak_gmacs=42.0,
+        precisions={Precision.FP32: 1.0, Precision.FP16: 1.9},
+        busy_power_mw=1200.0, idle_power_mw=150.0,
+        layer_efficiency=_gpu_fc_poor(), dispatch_ms=0.15,
+    )
+    soc = MobileSoC(
+        name="snapdragon_855",
+        processors={
+            "cpu": _cpu("cortex_a76", 20, 2840, 16.0, 5200, 320, 3.0),
+            "gpu": gpu,
+            "dsp": _dsp("hexagon_690", 800, 70.0, 1200, 110),
+        },
+        platform_idle_mw=700.0, dram_gb=8.0,
+    )
+    return Device("galaxy_tab_s6", DeviceClass.TABLET, soc)
+
+
+def cloud_server():
+    """Xeon E5-2640 (40 cores) + NVIDIA Tesla P100.
+
+    Server-side layer efficiencies are higher for FC/RC than the mobile
+    parts' (big caches, HBM); server power numbers never enter results
+    because energy is accounted at the phone (see module docstring).
+    """
+    cpu = Processor(
+        name="xeon_e5_2640", kind=ProcessorKind.CPU,
+        vf_table=build_vf_table(1, 2400),
+        peak_gmacs=180.0,
+        precisions={Precision.FP32: 1.0},
+        busy_power_mw=90_000.0, idle_power_mw=30_000.0, num_cores=40,
+        dispatch_ms=0.02,
+    )
+    gpu = Processor(
+        name="tesla_p100", kind=ProcessorKind.GPU,
+        vf_table=build_vf_table(1, 1328),
+        peak_gmacs=900.0,
+        precisions={Precision.FP32: 1.0},
+        busy_power_mw=250_000.0, idle_power_mw=30_000.0,
+        layer_efficiency={
+            LayerType.CONV: 0.95, LayerType.FC: 0.50, LayerType.RC: 0.45,
+            LayerType.POOL: 0.85, LayerType.NORM: 0.80,
+            LayerType.SOFTMAX: 0.50, LayerType.ARGMAX: 0.50,
+            LayerType.DROPOUT: 0.90,
+        },
+        dispatch_ms=0.08,
+    )
+    soc = MobileSoC(
+        name="xeon_p100_node",
+        processors={"cpu": cpu, "gpu": gpu},
+        platform_idle_mw=100_000.0, dram_gb=256.0,
+    )
+    return Device("cloud_server", DeviceClass.SERVER, soc)
+
+
+def mi8pro_npu():
+    """A hypothetical Mi8Pro variant with a programmable mobile NPU.
+
+    Section V-C: "depending on the configurations of edge-cloud systems,
+    additional actions, such as mobile NPU or cloud TPU, could be further
+    considered" — the paper could not use NPUs because their SDKs were
+    not public.  This platform adds one, INT8-only and fixed-clock like
+    the DSP but with systolic-array throughput, so experiments can probe
+    how AutoScale's action space extends.
+    """
+    base = mi8pro()
+    npu = Processor(
+        name="mobile_npu", kind=ProcessorKind.NPU,
+        vf_table=build_vf_table(1, 900),
+        peak_gmacs=120.0,
+        precisions={Precision.INT8: 1.0},
+        busy_power_mw=1400.0, idle_power_mw=120.0,
+    )
+    processors = dict(base.soc.processors)
+    processors["npu"] = npu
+    soc = MobileSoC(
+        name="snapdragon_845_npu", processors=processors,
+        platform_idle_mw=base.soc.platform_idle_mw,
+        dram_gb=base.soc.dram_gb, thermal=base.soc.thermal,
+    )
+    return Device("mi8pro_npu", DeviceClass.PHONE, soc)
+
+
+def cloud_server_tpu():
+    """The cloud node extended with a TPU-class accelerator.
+
+    Modelled as a server-side NPU serving quantized (INT8) models — the
+    interesting trade-off the extension exposes: the TPU is the fastest
+    target in the system but caps inference accuracy at the INT8 level.
+    """
+    base = cloud_server()
+    tpu = Processor(
+        name="cloud_tpu", kind=ProcessorKind.NPU,
+        vf_table=build_vf_table(1, 940),
+        peak_gmacs=4000.0,
+        precisions={Precision.INT8: 1.0},
+        busy_power_mw=200_000.0, idle_power_mw=30_000.0,
+        dispatch_ms=0.05,
+    )
+    processors = dict(base.soc.processors)
+    processors["npu"] = tpu
+    soc = MobileSoC(
+        name="xeon_p100_tpu_node", processors=processors,
+        platform_idle_mw=base.soc.platform_idle_mw,
+        dram_gb=base.soc.dram_gb,
+    )
+    return Device("cloud_server_tpu", DeviceClass.SERVER, soc)
+
+
+PHONE_NAMES = ("mi8pro", "galaxy_s10e", "moto_x_force")
+
+DEVICE_BUILDERS = {
+    "mi8pro": mi8pro,
+    "galaxy_s10e": galaxy_s10e,
+    "moto_x_force": moto_x_force,
+    "galaxy_tab_s6": galaxy_tab_s6,
+    "cloud_server": cloud_server,
+    "mi8pro_npu": mi8pro_npu,
+    "cloud_server_tpu": cloud_server_tpu,
+}
+
+
+def build_device(name):
+    """Build any of the five platforms by name."""
+    try:
+        return DEVICE_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; choose from {sorted(DEVICE_BUILDERS)}"
+        ) from None

@@ -1,0 +1,107 @@
+"""Energy models of Section IV-A, equations (1)-(3).
+
+These are the models AutoScale uses to *estimate* ``R_energy`` for local
+execution targets; the execution simulator uses the same models to produce
+ground truth (plus stochastic variance), which keeps the estimator's error
+in the single-digit-percent range the paper reports (MAPE 7.3%).
+
+Unit note: power is mW and time is ms, so ``mW * ms = microjoules``; all
+public functions return millijoules.
+"""
+
+from __future__ import annotations
+
+from repro.common import ConfigError
+from repro.hardware.processor import ProcessorKind
+
+__all__ = [
+    "busy_idle_energy_mj",
+    "cpu_energy_mj",
+    "gpu_energy_mj",
+    "dsp_energy_mj",
+    "platform_energy_mj",
+]
+
+
+def _energy_mj(power_mw, time_ms):
+    return power_mw * time_ms / 1000.0
+
+
+def busy_idle_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
+    """Generic busy/idle split: P_busy(f) * t_busy + P_idle * t_idle.
+
+    This is the shared core of equations (1) and (2): energy is the busy
+    power at the selected V/F step integrated over the busy time plus the
+    idle power over the idle time.
+    """
+    if busy_ms < 0 or idle_ms < 0:
+        raise ConfigError("busy/idle times must be non-negative")
+    busy_power = processor.busy_power_at(vf_index)
+    return (
+        _energy_mj(busy_power, busy_ms)
+        + _energy_mj(processor.idle_power_mw, idle_ms)
+    )
+
+
+def cpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1,
+                  active_cores=None):
+    """Equation (1): utilization-based CPU energy.
+
+    The paper sums per-core energy; we model the cluster's aggregate busy
+    power and scale it by the fraction of active cores, which is equivalent
+    when the active cores run at a common frequency (the usual case under
+    a cluster-wide DVFS rail).
+    """
+    if processor.kind is not ProcessorKind.CPU:
+        raise ConfigError(f"{processor.name} is not a CPU")
+    if active_cores is None:
+        active_cores = processor.num_cores
+    if not 1 <= active_cores <= processor.num_cores:
+        raise ConfigError(
+            f"active_cores {active_cores} outside [1, {processor.num_cores}]"
+        )
+    core_fraction = active_cores / processor.num_cores
+    busy_power = (
+        processor.idle_power_mw
+        + (processor.busy_power_at(vf_index) - processor.idle_power_mw)
+        * core_fraction
+    )
+    return (
+        _energy_mj(busy_power, busy_ms)
+        + _energy_mj(processor.idle_power_mw, idle_ms)
+    )
+
+
+def gpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
+    """Equation (2): GPU energy from the busy/idle power split."""
+    if processor.kind is not ProcessorKind.GPU:
+        raise ConfigError(f"{processor.name} is not a GPU")
+    return busy_idle_energy_mj(processor, busy_ms, idle_ms, vf_index)
+
+
+def dsp_energy_mj(processor, latency_ms):
+    """Equation (3): E_DSP = P_DSP * R_latency.
+
+    The paper measured DSP power to be constant across runs, so the model
+    is a single pre-measured power value times the inference latency.
+    NPUs (the paper's proposed action-space extension) are fixed-function
+    matrix engines with the same constant-power profile, so they share
+    this model.
+    """
+    if processor.kind not in (ProcessorKind.DSP, ProcessorKind.NPU):
+        raise ConfigError(f"{processor.name} is not a DSP/NPU")
+    if latency_ms < 0:
+        raise ConfigError("latency must be non-negative")
+    return _energy_mj(processor.busy_power_mw, latency_ms)
+
+
+def platform_energy_mj(idle_power_mw, duration_ms):
+    """Always-on platform power (rails, DRAM refresh, display pipeline).
+
+    The paper measures *system-wide* power with a Monsoon meter, so every
+    execution option also pays the platform's base power for the full
+    duration of the inference.
+    """
+    if idle_power_mw < 0 or duration_ms < 0:
+        raise ConfigError("power and duration must be non-negative")
+    return _energy_mj(idle_power_mw, duration_ms)

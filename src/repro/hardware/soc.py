@@ -1,0 +1,77 @@
+"""System-on-chip: a set of processors plus platform-level characteristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common import ConfigError
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.hardware.thermal import ThermalModel
+
+__all__ = ["MobileSoC"]
+
+
+@dataclass(frozen=True)
+class MobileSoC:
+    """A device's compute complex.
+
+    Attributes:
+        name: SoC marketing name (e.g. ``"snapdragon_845"``).
+        processors: map from role (``"cpu"``, ``"gpu"``, ``"dsp"``) to the
+            :class:`Processor`.  A ``"cpu"`` entry is mandatory — it both
+            runs inference and hosts AutoScale itself.
+        platform_idle_mw: always-on system power (display pipeline, DRAM,
+            rails) that a system-wide power meter sees regardless of which
+            unit runs the inference.
+        dram_gb: DRAM capacity; used for the Q-table memory-footprint
+            overhead analysis (Section VI-C).
+        thermal: the throttling model for this SoC.
+    """
+
+    name: str
+    processors: Dict[str, Processor]
+    platform_idle_mw: float
+    dram_gb: float = 4.0
+    thermal: ThermalModel = field(default_factory=ThermalModel)
+
+    def __post_init__(self):
+        if "cpu" not in self.processors:
+            raise ConfigError(f"{self.name}: a SoC needs a 'cpu' processor")
+        if self.platform_idle_mw < 0:
+            raise ConfigError(f"{self.name}: negative platform power")
+        if self.dram_gb <= 0:
+            raise ConfigError(f"{self.name}: DRAM capacity must be positive")
+        expected_kind = {
+            "cpu": ProcessorKind.CPU,
+            "gpu": ProcessorKind.GPU,
+            "dsp": ProcessorKind.DSP,
+            "npu": ProcessorKind.NPU,
+        }
+        for role, proc in self.processors.items():
+            if role in expected_kind and proc.kind is not expected_kind[role]:
+                raise ConfigError(
+                    f"{self.name}: role {role!r} holds a {proc.kind}"
+                )
+
+    @property
+    def roles(self):
+        """Available processor roles in a stable order (cpu, gpu, dsp)."""
+        order = {"cpu": 0, "gpu": 1, "dsp": 2, "npu": 3}
+        return tuple(sorted(self.processors, key=lambda r: order.get(r, 9)))
+
+    def processor(self, role):
+        """Look up a processor by role; raises KeyError with guidance."""
+        try:
+            return self.processors[role]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no {role!r} unit (has {self.roles})"
+            ) from None
+
+    @property
+    def cpu(self):
+        return self.processors["cpu"]
+
+    def has(self, role):
+        return role in self.processors

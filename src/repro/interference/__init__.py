@@ -1,0 +1,27 @@
+"""Runtime-variance substrate: co-running apps and the contention model."""
+
+from repro.interference.corunner import (
+    ConstantCoRunner,
+    CoRunnerLoad,
+    SwitchingCoRunner,
+    TraceCoRunner,
+    cpu_intensive_corunner,
+    memory_intensive_corunner,
+    music_player,
+    no_corunner,
+    web_browser,
+)
+from repro.interference.model import InterferenceModel
+
+__all__ = [
+    "ConstantCoRunner",
+    "CoRunnerLoad",
+    "SwitchingCoRunner",
+    "TraceCoRunner",
+    "cpu_intensive_corunner",
+    "memory_intensive_corunner",
+    "music_player",
+    "no_corunner",
+    "web_browser",
+    "InterferenceModel",
+]

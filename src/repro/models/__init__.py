@@ -1,0 +1,41 @@
+"""DNN workload models: layers, networks, the Table-III zoo, accuracy."""
+
+from repro.models.accuracy import DEFAULT_ACCURACY, AccuracyTable
+from repro.models.layers import COMPUTE_INTENSIVE_TYPES, Layer, LayerType
+from repro.models.network import LayerComposition, NeuralNetwork, Task
+from repro.models.profiler import LayerProfile, NetworkProfile, profile_network
+from repro.models.quantization import Precision
+from repro.models.validation import assert_valid_network, validate_network
+from repro.models.zoo import (
+    NETWORK_NAMES,
+    TABLE_III,
+    build_custom_network,
+    build_network,
+    heavy_networks,
+    light_networks,
+    load_zoo,
+)
+
+__all__ = [
+    "AccuracyTable",
+    "DEFAULT_ACCURACY",
+    "COMPUTE_INTENSIVE_TYPES",
+    "Layer",
+    "LayerType",
+    "LayerComposition",
+    "NeuralNetwork",
+    "LayerProfile",
+    "NetworkProfile",
+    "profile_network",
+    "Task",
+    "Precision",
+    "assert_valid_network",
+    "validate_network",
+    "NETWORK_NAMES",
+    "TABLE_III",
+    "build_custom_network",
+    "build_network",
+    "heavy_networks",
+    "light_networks",
+    "load_zoo",
+]

@@ -1,0 +1,119 @@
+"""DNN layer taxonomy and per-layer cost descriptors.
+
+Section II-A of the paper classifies layers into convolutional (CONV),
+fully-connected (FC), recurrent (RC), and a tail of cheaper layer types
+(POOL, normalization, softmax, ...).  AutoScale's state space only keys on
+CONV/FC/RC counts plus total MACs, but the execution simulator and the
+layer-partitioning baselines (MOSAIC, NeuroSurgeon) need a per-layer view:
+each layer carries its MAC count, parameter bytes, and output-activation
+bytes (the quantity shipped over the wire when a model is split).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common import ConfigError
+
+__all__ = ["LayerType", "Layer", "COMPUTE_INTENSIVE_TYPES"]
+
+
+class LayerType(enum.Enum):
+    """Layer categories from Section II-A."""
+
+    CONV = "conv"
+    FC = "fc"
+    RC = "rc"
+    POOL = "pool"
+    NORM = "norm"
+    SOFTMAX = "softmax"
+    ARGMAX = "argmax"
+    DROPOUT = "dropout"
+
+    @property
+    def is_compute_intensive(self):
+        """CONV/FC/RC dominate latency and energy (Section II-A)."""
+        return self in COMPUTE_INTENSIVE_TYPES
+
+
+COMPUTE_INTENSIVE_TYPES = frozenset(
+    {LayerType.CONV, LayerType.FC, LayerType.RC}
+)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of a neural network.
+
+    Attributes:
+        kind: the layer's :class:`LayerType`.
+        name: unique name within its network (e.g. ``"conv_12"``).
+        macs: multiply-accumulate operations performed by the layer.
+        param_bytes: weight storage at FP32 (scaled down by quantization).
+        output_bytes: FP32 size of the output activation tensor.  This is
+            what a layer-partitioned execution transmits to the next
+            execution target.
+        memory_bound: fraction in [0, 1] describing how memory-bound the
+            layer is; FC and RC layers are highly memory-bound, which is
+            why they run poorly on throughput-oriented co-processors
+            (Fig. 3 of the paper).
+    """
+
+    kind: LayerType
+    name: str
+    macs: float
+    param_bytes: float = 0.0
+    output_bytes: float = 0.0
+    memory_bound: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.macs < 0:
+            raise ConfigError(f"layer {self.name}: negative MACs {self.macs}")
+        if self.param_bytes < 0 or self.output_bytes < 0:
+            raise ConfigError(f"layer {self.name}: negative byte size")
+        if not 0.0 <= self.memory_bound <= 1.0:
+            raise ConfigError(
+                f"layer {self.name}: memory_bound must be in [0, 1], "
+                f"got {self.memory_bound}"
+            )
+
+    @property
+    def is_compute_intensive(self):
+        """Whether the layer belongs to the CONV/FC/RC group."""
+        return self.kind.is_compute_intensive
+
+
+def default_memory_bound(kind):
+    """Default memory-boundedness per layer type.
+
+    CONV layers reuse weights heavily (compute-bound); FC layers stream
+    their full weight matrix once per inference (memory-bound); RC layers
+    are even more memory-bound due to sequential weight streaming per step.
+    The tail layers are bandwidth-light.
+    """
+    return {
+        LayerType.CONV: 0.2,
+        LayerType.FC: 0.85,
+        LayerType.RC: 0.9,
+        LayerType.POOL: 0.5,
+        LayerType.NORM: 0.5,
+        LayerType.SOFTMAX: 0.3,
+        LayerType.ARGMAX: 0.3,
+        LayerType.DROPOUT: 0.1,
+    }[kind]
+
+
+def make_layer(kind, name, macs, param_bytes=0.0, output_bytes=0.0,
+               memory_bound=None):
+    """Construct a :class:`Layer`, filling ``memory_bound`` from defaults."""
+    if memory_bound is None:
+        memory_bound = default_memory_bound(kind)
+    return Layer(
+        kind=kind,
+        name=name,
+        macs=macs,
+        param_bytes=param_bytes,
+        output_bytes=output_bytes,
+        memory_bound=memory_bound,
+    )

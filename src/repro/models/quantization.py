@@ -1,0 +1,54 @@
+"""Numeric precision (quantization) support.
+
+Section II-B: quantization shrinks FP32 values to FP16 or INT8, reducing
+both compute- and memory-intensity of inference, at some accuracy cost.
+Precisions are part of AutoScale's augmented action space — the paper's
+Mi8Pro configuration exposes CPU {FP32, INT8} and GPU {FP32, FP16}.
+
+A :class:`Precision` carries the two quantities the simulator needs:
+
+- ``bytes_per_value`` — scales model/activation/input sizes (and therefore
+  transmission time for offloaded execution and memory pressure locally);
+- ``compute_scale`` — the *generic* arithmetic speed-up factor; processors
+  additionally apply their own per-precision throughput multipliers (a DSP
+  gets far more out of INT8 than a CPU does).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Precision"]
+
+
+class Precision(enum.Enum):
+    """Numeric precision of an inference execution."""
+
+    FP32 = ("fp32", 4, 1.0)
+    FP16 = ("fp16", 2, 1.6)
+    INT8 = ("int8", 1, 2.2)
+
+    def __init__(self, label, bytes_per_value, compute_scale):
+        self.label = label
+        self.bytes_per_value = bytes_per_value
+        self.compute_scale = compute_scale
+
+    @property
+    def size_ratio(self):
+        """Data-size multiplier relative to FP32."""
+        return self.bytes_per_value / 4.0
+
+    def scale_bytes(self, fp32_bytes):
+        """Size of an FP32 payload after quantization to this precision."""
+        return fp32_bytes * self.size_ratio
+
+    @classmethod
+    def from_label(cls, label):
+        """Look a precision up by its lower-case label (e.g. ``"int8"``)."""
+        for precision in cls:
+            if precision.label == label:
+                return precision
+        raise KeyError(f"unknown precision {label!r}")
+
+    def __str__(self):
+        return self.label.upper()

@@ -1,0 +1,31 @@
+"""Wireless substrate: links, signal processes, transmission energy."""
+
+from repro.wireless.energy import TransmissionBreakdown, transmission_energy_mj
+from repro.wireless.link import WEAK_RSSI_DBM, LinkKind, WirelessLink
+from repro.wireless.profiles import (default_lte, default_wifi,
+                                     default_wifi_direct)
+from repro.wireless.signal import (
+    STRONG_RSSI_DBM,
+    WEAK_RSSI_DBM_TYPICAL,
+    ConstantSignal,
+    GaussianSignal,
+    OutageSignal,
+    RandomWalkSignal,
+)
+
+__all__ = [
+    "TransmissionBreakdown",
+    "transmission_energy_mj",
+    "WEAK_RSSI_DBM",
+    "LinkKind",
+    "WirelessLink",
+    "default_lte",
+    "default_wifi",
+    "default_wifi_direct",
+    "STRONG_RSSI_DBM",
+    "WEAK_RSSI_DBM_TYPICAL",
+    "ConstantSignal",
+    "GaussianSignal",
+    "OutageSignal",
+    "RandomWalkSignal",
+]

@@ -1,0 +1,78 @@
+"""Equation (4): signal-strength-based transmission energy.
+
+    R_energy = P_TX^S * t_TX + P_RX^S * t_RX
+             + P_idle * (R_latency - t_TX - t_RX)
+
+where the TX/RX powers are functions of the current signal strength S and
+``P_idle`` is the radio's connected-idle power paid while the phone waits
+for the remote result.  The radio's tail energy (see ``link.py``) is added
+on top — it is part of the pre-measured radio profile of the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigError
+
+__all__ = ["TransmissionBreakdown", "transmission_energy_mj"]
+
+
+@dataclass(frozen=True)
+class TransmissionBreakdown:
+    """Per-phase radio timing/energy for one offloaded inference."""
+
+    tx_ms: float
+    rx_ms: float
+    wait_ms: float
+    tx_energy_mj: float
+    rx_energy_mj: float
+    idle_energy_mj: float
+    tail_energy_mj: float
+
+    @property
+    def radio_energy_mj(self):
+        """Total radio energy (the eq. 4 value plus the tail)."""
+        return (self.tx_energy_mj + self.rx_energy_mj
+                + self.idle_energy_mj + self.tail_energy_mj)
+
+    @property
+    def eq4_energy_mj(self):
+        """The strict equation-(4) value, without the tail state."""
+        return self.tx_energy_mj + self.rx_energy_mj + self.idle_energy_mj
+
+
+def transmission_energy_mj(link, rssi_dbm, tx_bytes, rx_bytes,
+                           total_latency_ms, include_tail=True):
+    """Evaluate eq. (4) for one offloaded inference.
+
+    Args:
+        link: the :class:`~repro.wireless.link.WirelessLink` used.
+        rssi_dbm: current signal strength.
+        tx_bytes / rx_bytes: payload sizes (input up, result down).
+        total_latency_ms: the inference's end-to-end latency
+            (``R_latency`` in the paper); the radio idles for the part not
+            spent transmitting or receiving.
+        include_tail: charge the radio tail state (the default; disable to
+            get the textbook eq. 4 value).
+
+    Returns a :class:`TransmissionBreakdown`.
+    """
+    tx_ms = link.transfer_ms(tx_bytes, rssi_dbm)
+    rx_ms = link.transfer_ms(rx_bytes, rssi_dbm)
+    wait_ms = total_latency_ms - tx_ms - rx_ms
+    if wait_ms < -1e-9:
+        raise ConfigError(
+            f"total latency {total_latency_ms} ms shorter than transfer "
+            f"time {tx_ms + rx_ms:.3f} ms"
+        )
+    wait_ms = max(0.0, wait_ms)
+    return TransmissionBreakdown(
+        tx_ms=tx_ms,
+        rx_ms=rx_ms,
+        wait_ms=wait_ms,
+        tx_energy_mj=link.tx_power_mw(rssi_dbm) * tx_ms / 1000.0,
+        rx_energy_mj=link.rx_power_mw * rx_ms / 1000.0,
+        idle_energy_mj=link.idle_power_mw * wait_ms / 1000.0,
+        tail_energy_mj=link.tail_energy_mj() if include_tail else 0.0,
+    )

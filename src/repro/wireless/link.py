@@ -1,0 +1,126 @@
+"""Wireless link model: RSSI-dependent data rate, power, and latency.
+
+Section III-B: data-transmission latency and energy increase *exponentially*
+at weak signal strength — the data rate collapses while the radio raises
+its transmit power to compensate.  We model the rate with a logistic curve
+in RSSI whose midpoint sits just above the paper's weak-signal threshold
+(−80 dBm), which yields exactly that exponential blow-up below the knee,
+and ramp the transmit power linearly with the same "weakness" factor.
+
+Real radios also exhibit a *tail state*: after a transfer the interface
+lingers in a high-power state for tens to hundreds of milliseconds.  The
+tail is what makes per-inference offloading energy-expensive even when the
+payload is small, so the execution simulator charges it; AutoScale's
+eq. (4) estimator does too (it is part of the pre-measured radio profile).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.common import ConfigError, bytes_to_mbits
+
+__all__ = ["LinkKind", "WirelessLink", "WEAK_RSSI_DBM"]
+
+#: Table I's threshold: RSSI at or below this is the "weak" state.
+WEAK_RSSI_DBM = -80.0
+
+
+class LinkKind(enum.Enum):
+    """The two radio types of Table I."""
+
+    WLAN = "wlan"  # Wi-Fi / LTE / 5G — the edge-cloud path
+    P2P = "p2p"    # Wi-Fi Direct / Bluetooth — the edge-edge path
+
+
+@dataclass(frozen=True)
+class WirelessLink:
+    """A radio path between the phone and a remote execution target.
+
+    Attributes:
+        name: e.g. ``"wifi"``.
+        kind: WLAN or P2P.
+        max_rate_mbps: throughput at strong signal.
+        midpoint_dbm / scale_db: logistic rate-curve parameters.
+        tx_power_min_mw / tx_power_max_mw: radio transmit power at strong
+            and at very weak signal.
+        rx_power_mw: receive power.
+        idle_power_mw: radio connected-idle power (paid while waiting for
+            the remote result).
+        tail_ms / tail_power_mw: post-transfer high-power tail state.
+        rtt_ms: base round-trip latency to the remote endpoint (includes
+            WAN hops for the cloud path); inflated at weak signal by
+            retransmissions.
+    """
+
+    name: str
+    kind: LinkKind
+    max_rate_mbps: float
+    midpoint_dbm: float = -78.0
+    scale_db: float = 3.5
+    tx_power_min_mw: float = 700.0
+    tx_power_max_mw: float = 1400.0
+    rx_power_mw: float = 600.0
+    idle_power_mw: float = 30.0
+    tail_ms: float = 100.0
+    tail_power_mw: float = 600.0
+    rtt_ms: float = 10.0
+
+    def __post_init__(self):
+        if self.max_rate_mbps <= 0:
+            raise ConfigError(f"{self.name}: max rate must be positive")
+        if self.scale_db <= 0:
+            raise ConfigError(f"{self.name}: scale_db must be positive")
+        if self.tx_power_min_mw > self.tx_power_max_mw:
+            raise ConfigError(f"{self.name}: tx power range inverted")
+        if min(self.tx_power_min_mw, self.rx_power_mw,
+               self.idle_power_mw, self.tail_power_mw) < 0:
+            raise ConfigError(f"{self.name}: negative radio power")
+        if self.tail_ms < 0 or self.rtt_ms < 0:
+            raise ConfigError(f"{self.name}: negative timing parameter")
+
+    # ------------------------------------------------------------------
+    # Signal-strength response curves
+    # ------------------------------------------------------------------
+
+    def weakness(self, rssi_dbm):
+        """Fraction in (0, 1): 0 at strong signal, →1 as the link dies."""
+        return 1.0 / (1.0 + math.exp((rssi_dbm - self.midpoint_dbm)
+                                     / self.scale_db))
+
+    def data_rate_mbps(self, rssi_dbm):
+        """Effective throughput at the given signal strength."""
+        rate = self.max_rate_mbps * (1.0 - self.weakness(rssi_dbm))
+        return max(rate, self.max_rate_mbps * 0.005)
+
+    def tx_power_mw(self, rssi_dbm):
+        """Transmit power: the radio works harder at weak signal."""
+        span = self.tx_power_max_mw - self.tx_power_min_mw
+        return self.tx_power_min_mw + span * self.weakness(rssi_dbm)
+
+    def effective_rtt_ms(self, rssi_dbm):
+        """Round-trip latency including weak-signal retransmissions."""
+        return self.rtt_ms * (1.0 + 2.0 * self.weakness(rssi_dbm))
+
+    def is_weak(self, rssi_dbm):
+        """Table I's binary RSSI state (weak iff <= -80 dBm)."""
+        return rssi_dbm <= WEAK_RSSI_DBM
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def transfer_ms(self, num_bytes, rssi_dbm):
+        """Time to move ``num_bytes`` across the link at this RSSI."""
+        if num_bytes < 0:
+            raise ConfigError(f"negative payload: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return bytes_to_mbits(num_bytes) / self.data_rate_mbps(rssi_dbm) \
+            * 1000.0
+
+    def tail_energy_mj(self):
+        """Energy of the post-transfer radio tail state."""
+        return self.tail_power_mw * self.tail_ms / 1000.0

@@ -1,0 +1,99 @@
+"""Tests for the classification baselines (SVM / KNN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classification import (
+    KNNClassifier,
+    LinearSVM,
+    knn_scheduler,
+    svm_scheduler,
+)
+from repro.common import ConfigError, make_rng
+from repro.env.qos import use_case_for
+
+
+class TestKNNClassifier:
+    def test_separable_blobs(self):
+        rng = make_rng(0)
+        a = rng.normal(0.0, 0.3, size=(30, 2))
+        b = rng.normal(5.0, 0.3, size=(30, 2))
+        knn = KNNClassifier(k=3).fit(np.vstack([a, b]),
+                                     ["a"] * 30 + ["b"] * 30)
+        assert knn.predict_one(np.array([0.1, -0.1])) == "a"
+        assert knn.predict_one(np.array([5.1, 4.9])) == "b"
+
+    def test_majority_vote(self):
+        points = np.array([[0.0], [0.1], [0.2], [10.0]])
+        knn = KNNClassifier(k=3).fit(points, ["a", "a", "b", "b"])
+        assert knn.predict_one(np.array([0.05])) == "a"
+
+    def test_k_larger_than_dataset(self):
+        knn = KNNClassifier(k=50).fit(np.zeros((3, 1)), ["a", "a", "b"])
+        assert knn.predict_one(np.zeros(1)) == "a"
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigError):
+            KNNClassifier(k=0)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ConfigError):
+            KNNClassifier().fit(np.zeros((0, 2)), [])
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self):
+        rng = make_rng(1)
+        a = rng.normal(-2.0, 0.3, size=(40, 2))
+        b = rng.normal(2.0, 0.3, size=(40, 2))
+        svm = LinearSVM(epochs=30, seed=1).fit(
+            np.vstack([a, b]), ["a"] * 40 + ["b"] * 40
+        )
+        predictions = svm.predict(np.array([[-2.0, -2.0], [2.0, 2.0]]))
+        assert predictions == ["a", "b"]
+
+    def test_three_classes(self):
+        rng = make_rng(2)
+        blobs = [rng.normal(center, 0.2, size=(30, 1))
+                 for center in (-3.0, 0.0, 3.0)]
+        labels = ["lo"] * 30 + ["mid"] * 30 + ["hi"] * 30
+        svm = LinearSVM(epochs=40, seed=2).fit(np.vstack(blobs), labels)
+        assert svm.predict_one(np.array([-3.0])) == "lo"
+        assert svm.predict_one(np.array([3.1])) == "hi"
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+
+class TestClassificationScheduler:
+    @pytest.fixture()
+    def cases(self, zoo):
+        return [use_case_for(zoo[name])
+                for name in ("mobilenet_v3", "mobilebert")]
+
+    def test_train_and_select(self, env, cases):
+        scheduler = knn_scheduler(k=3)
+        labels = scheduler.train(env, cases, rng=make_rng(0),
+                                 samples_per_case=8)
+        assert len(labels) == 16
+        target = scheduler.select(env, cases[0], env.observe())
+        assert target in env.targets()
+
+    def test_svm_variant(self, env, cases):
+        scheduler = svm_scheduler()
+        scheduler.train(env, cases, rng=make_rng(0), samples_per_case=8)
+        target = scheduler.select(env, cases[1], env.observe())
+        assert target in env.targets()
+
+    def test_untrained_rejected(self, env, cases):
+        with pytest.raises(ConfigError):
+            knn_scheduler().select(env, cases[0], env.observe())
+
+    def test_learns_cloud_for_bert_in_static_env(self, env, cases):
+        """In S1 the oracle labels MobileBERT as cloud; KNN on the same
+        contexts must reproduce that (it is memorization here)."""
+        scheduler = knn_scheduler(k=3)
+        scheduler.train(env, cases, rng=make_rng(0), samples_per_case=8)
+        target = scheduler.select(env, cases[1], env.observe())
+        assert target.location.value == "cloud"

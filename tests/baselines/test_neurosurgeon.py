@@ -1,0 +1,92 @@
+"""Tests for the NeuroSurgeon baseline."""
+
+import pytest
+
+from repro.baselines.neurosurgeon import (
+    LayerLatencyModel,
+    NeurosurgeonScheduler,
+)
+from repro.common import ConfigError, make_rng
+from repro.env.qos import use_case_for
+from repro.models.quantization import Precision
+
+
+class TestLayerLatencyModel:
+    def test_fits_linear_mac_relationship(self, mi8pro_device, zoo):
+        cpu = mi8pro_device.soc.cpu
+        layers = zoo["inception_v1"].layers
+        model = LayerLatencyModel().fit(cpu, layers, Precision.FP32)
+        for layer in layers[:10]:
+            predicted = model.predict_layer(layer)
+            actual = cpu.layer_latency_ms(layer, Precision.FP32)
+            assert predicted == pytest.approx(actual, rel=0.35, abs=0.15)
+
+    def test_predictions_positive(self, mi8pro_device, zoo):
+        cpu = mi8pro_device.soc.cpu
+        layers = zoo["mobilenet_v3"].layers
+        model = LayerLatencyModel().fit(cpu, layers, Precision.FP32,
+                                        rng=make_rng(0))
+        assert (model.predict_layers(layers) > 0).all()
+
+    def test_unfitted_rejected(self, zoo):
+        with pytest.raises(ConfigError):
+            LayerLatencyModel().predict_layer(zoo["mobilenet_v3"].layers[0])
+
+
+class TestNeurosurgeonScheduler:
+    @pytest.fixture()
+    def trained(self, env, zoo):
+        scheduler = NeurosurgeonScheduler()
+        cases = [use_case_for(zoo[n])
+                 for n in ("mobilenet_v3", "inception_v1", "resnet_50",
+                           "mobilebert")]
+        scheduler.train(env, cases, rng=make_rng(0))
+        return scheduler, cases
+
+    def test_plan_is_valid_split_point(self, env, trained):
+        scheduler, cases = trained
+        for case in cases:
+            point = scheduler.plan(env, case, env.observe())
+            assert 0 <= point <= len(case.network.layers)
+
+    def test_offloads_heavy_network(self, env, trained):
+        """ResNet-50 on a phone: NeuroSurgeon should ship (almost)
+        everything to the cloud at strong signal."""
+        scheduler, cases = trained
+        resnet = next(c for c in cases if "resnet" in c.name)
+        point = scheduler.plan(env, resnet, env.observe())
+        assert point < len(resnet.network.layers) // 4
+
+    def test_execute_produces_result(self, env, trained):
+        scheduler, cases = trained
+        result = scheduler.execute(env, cases[0])
+        assert result.latency_ms > 0
+        assert result.energy_mj > 0
+
+    def test_weak_signal_moves_split_toward_local(self, mi8pro_device,
+                                                  zoo, trained):
+        from repro.env.environment import EdgeCloudEnvironment
+        scheduler, cases = trained
+        resnet = next(c for c in cases if "resnet" in c.name)
+        strong_env = EdgeCloudEnvironment(mi8pro_device, scenario="S1",
+                                          seed=0)
+        weak_env = EdgeCloudEnvironment(mi8pro_device, scenario="S4",
+                                        seed=0)
+        strong_point = scheduler.plan(strong_env, resnet,
+                                      strong_env.observe())
+        weak_point = scheduler.plan(weak_env, resnet, weak_env.observe())
+        assert weak_point >= strong_point
+
+    def test_untrained_rejected(self, env, zoo):
+        with pytest.raises(ConfigError):
+            NeurosurgeonScheduler().plan(
+                env, use_case_for(zoo["mobilenet_v3"]), env.observe()
+            )
+
+    def test_requires_cloud(self, mi8pro_device, zoo):
+        from repro.env.environment import EdgeCloudEnvironment
+        env = EdgeCloudEnvironment(mi8pro_device, cloud=False)
+        with pytest.raises(ConfigError):
+            NeurosurgeonScheduler().train(
+                env, [use_case_for(zoo["mobilenet_v3"])]
+            )

@@ -1,0 +1,46 @@
+"""Tests for the action space."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.action import ActionSpace
+from repro.env.target import ExecutionTarget, Location
+from repro.models.quantization import Precision
+
+
+class TestActionSpace:
+    def test_from_environment_matches_paper_count(self, env):
+        space = ActionSpace.from_environment(env)
+        assert len(space) == 66
+
+    def test_index_roundtrip(self, env):
+        space = ActionSpace.from_environment(env)
+        for index, target in enumerate(space):
+            assert space.index_of(target) == index
+            assert space.target(index) is target
+
+    def test_contains(self, env):
+        space = ActionSpace.from_environment(env)
+        assert space.target(0) in space
+        foreign = ExecutionTarget(Location.LOCAL, "gpu", Precision.FP16,
+                                  99)
+        assert foreign not in space
+
+    def test_unknown_target_raises(self, env):
+        space = ActionSpace.from_environment(env)
+        with pytest.raises(KeyError):
+            space.index_of(ExecutionTarget(Location.LOCAL, "gpu",
+                                           Precision.FP16, 99))
+
+    def test_without_augmentations(self, env):
+        space = ActionSpace.from_environment(env, with_dvfs=False)
+        assert len(space) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ActionSpace([])
+
+    def test_duplicates_rejected(self):
+        target = ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
+        with pytest.raises(ConfigError):
+            ActionSpace([target, target])

@@ -1,0 +1,85 @@
+"""Tests for convergence detection."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.convergence import ConvergenceDetector, episodes_to_converge
+
+
+class TestDetector:
+    def test_stable_rewards_same_action_converge(self):
+        detector = ConvergenceDetector(window=5, stable_steps=3,
+                                       action_streak=3)
+        converged_at = None
+        for step in range(40):
+            if detector.observe(-1.0 + 0.001 * (step % 2),
+                                executed_action=7):
+                converged_at = detector.converged_at
+                break
+        assert converged_at is not None
+        assert converged_at < 20
+
+    def test_action_sweep_does_not_converge(self):
+        """The optimistic-init sweep phase — stable-looking rewards but a
+        different action every step — must not read as converged."""
+        detector = ConvergenceDetector(window=5, stable_steps=3,
+                                       action_streak=3)
+        for step in range(40):
+            assert not detector.observe(-20.0, executed_action=step)
+        assert not detector.converged
+
+    def test_drifting_rewards_do_not_converge(self):
+        detector = ConvergenceDetector(window=5, stable_steps=3,
+                                       tolerance=0.02, action_streak=1)
+        for step in range(30):
+            detector.observe(-10.0 + step, executed_action=0)
+        assert not detector.converged
+
+    def test_converged_is_sticky(self):
+        detector = ConvergenceDetector(window=4, stable_steps=2,
+                                       action_streak=2)
+        for _ in range(20):
+            detector.observe(-1.0, executed_action=0)
+        at = detector.converged_at
+        detector.observe(-99.0, executed_action=3)
+        assert detector.converged_at == at
+
+    def test_reset(self):
+        detector = ConvergenceDetector(window=4, stable_steps=2,
+                                       action_streak=2)
+        for _ in range(20):
+            detector.observe(-1.0, executed_action=0)
+        assert detector.converged
+        detector.reset()
+        assert not detector.converged
+        assert detector.converged_at is None
+
+    def test_no_action_tracking_mode(self):
+        detector = ConvergenceDetector(window=4, stable_steps=2)
+        for _ in range(20):
+            detector.observe(-1.0)
+        assert detector.converged
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ConvergenceDetector(window=1)
+        with pytest.raises(ConfigError):
+            ConvergenceDetector(tolerance=0.0)
+        with pytest.raises(ConfigError):
+            ConvergenceDetector(stable_steps=0)
+
+
+class TestOffline:
+    def test_flat_series_converges_quickly(self):
+        rewards = [-1.0] * 50
+        assert episodes_to_converge(rewards, window=10) < 25
+
+    def test_never_converging_series(self):
+        rewards = [-(i ** 1.5) for i in range(30)]
+        assert episodes_to_converge(rewards, window=10,
+                                    tolerance=0.01) == 30
+
+    def test_converges_after_transient(self):
+        rewards = [-10.0, -8.0, -5.0, -3.0, -2.0] + [-1.0] * 45
+        at = episodes_to_converge(rewards, window=10)
+        assert 10 <= at <= 30

@@ -1,0 +1,96 @@
+"""Tests for the from-scratch DBSCAN discretizer."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.core.discretize import cluster_edges, dbscan, derive_feature_edges
+
+
+class TestDbscan:
+    def test_two_well_separated_clusters(self):
+        points = np.concatenate([np.linspace(0, 1, 20),
+                                 np.linspace(10, 11, 20)])
+        labels = dbscan(points, eps=0.3, min_samples=3)
+        assert len(set(labels[labels >= 0])) == 2
+        # Points within each blob share a label.
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+
+    def test_noise_labelled_minus_one(self):
+        points = np.array([0.0, 0.05, 0.1, 0.15, 50.0])
+        labels = dbscan(points, eps=0.2, min_samples=3)
+        assert labels[-1] == -1
+
+    def test_single_cluster(self):
+        labels = dbscan(np.linspace(0, 1, 30), eps=0.2, min_samples=3)
+        assert set(labels) == {0}
+
+    def test_2d_points(self):
+        blob_a = np.random.default_rng(0).normal(0, 0.1, size=(20, 2))
+        blob_b = np.random.default_rng(1).normal(5, 0.1, size=(20, 2))
+        labels = dbscan(np.vstack([blob_a, blob_b]), eps=0.5,
+                        min_samples=4)
+        assert len(set(labels[labels >= 0])) == 2
+
+    def test_border_points_join_cluster(self):
+        # A chain: every point within eps of the next; all one cluster.
+        points = np.arange(0, 10, 0.5)
+        labels = dbscan(points, eps=0.6, min_samples=3)
+        assert set(labels) == {0}
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            dbscan([1.0, 2.0], eps=0.0, min_samples=2)
+        with pytest.raises(ConfigError):
+            dbscan([1.0, 2.0], eps=1.0, min_samples=0)
+        with pytest.raises(ConfigError):
+            dbscan(np.zeros((2, 2, 2)), eps=1.0, min_samples=1)
+
+
+class TestClusterEdges:
+    def test_edge_at_midpoint(self):
+        values = np.array([0.0, 1.0, 10.0, 11.0])
+        labels = np.array([0, 0, 1, 1])
+        edges = cluster_edges(values, labels)
+        assert edges == (5.5,)
+
+    def test_single_cluster_no_edges(self):
+        values = np.array([1.0, 2.0])
+        labels = np.array([0, 0])
+        assert cluster_edges(values, labels) == ()
+
+    def test_clusters_ordered_by_centroid(self):
+        # Labels assigned out of value order must still give sorted edges.
+        values = np.array([10.0, 11.0, 0.0, 1.0, 20.0, 21.0])
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        edges = cluster_edges(values, labels)
+        assert list(edges) == sorted(edges)
+        assert len(edges) == 2
+
+
+class TestDeriveFeatureEdges:
+    def test_recovers_table_i_like_bins(self):
+        """Profiling samples with clear modes recover the bin structure
+        the paper derived with DBSCAN."""
+        rng = np.random.default_rng(0)
+        samples = np.concatenate([
+            rng.normal(15, 2, 40),    # "small" conv counts
+            rng.normal(45, 2, 40),    # "medium"
+            rng.normal(70, 2, 40),    # "large"
+        ])
+        edges = derive_feature_edges(samples, min_samples=4)
+        assert len(edges) == 2
+        assert 20 < edges[0] < 40
+        assert 50 < edges[1] < 65
+
+    def test_constant_feature_gives_no_edges(self):
+        assert derive_feature_edges([5.0] * 20) == ()
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            derive_feature_edges([1.0, 2.0], min_samples=4)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ConfigError):
+            derive_feature_edges(np.zeros((5, 2)))

@@ -1,0 +1,75 @@
+"""Tests for engine save/load."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.core.engine import AutoScale
+from repro.core.persistence import load_engine, save_engine
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import use_case_for
+from repro.hardware.devices import build_device
+
+
+@pytest.fixture()
+def trained(zoo):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=8)
+    engine = AutoScale(env, seed=8)
+    engine.run(use_case_for(zoo["mobilenet_v3"]), 60)
+    return engine
+
+
+class TestRoundTrip:
+    def test_values_and_visits_preserved(self, trained, tmp_path):
+        save_engine(trained, tmp_path / "engine")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        loaded = load_engine(tmp_path / "engine", env)
+        assert np.allclose(loaded.qtable.values, trained.qtable.values)
+        assert np.array_equal(loaded.qtable.visits,
+                              trained.qtable.visits)
+
+    def test_loaded_engine_predicts_like_original(self, trained, zoo,
+                                                  tmp_path):
+        save_engine(trained, tmp_path / "engine")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        loaded = load_engine(tmp_path / "engine", env)
+        loaded.freeze()
+        trained.freeze()
+        observation = env.observe()
+        net = zoo["mobilenet_v3"]
+        assert loaded.predict(net, observation).key \
+            == trained.predict(net, observation).key
+
+    def test_hyperparameters_restored(self, trained, tmp_path):
+        save_engine(trained, tmp_path / "engine")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), seed=9)
+        loaded = load_engine(tmp_path / "engine", env)
+        assert loaded.config == trained.config
+        assert loaded.reward_config == trained.reward_config
+
+
+class TestValidation:
+    def test_wrong_device_rejected(self, trained, tmp_path):
+        save_engine(trained, tmp_path / "engine")
+        other = EdgeCloudEnvironment(build_device("moto_x_force"),
+                                     scenario="S1", seed=9)
+        with pytest.raises(ConfigError, match="action space"):
+            load_engine(tmp_path / "engine", other)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), seed=9)
+        with pytest.raises(ConfigError, match="metadata"):
+            load_engine(tmp_path / "nope", env)
+
+    def test_bad_format_version_rejected(self, trained, tmp_path):
+        import json
+        path = save_engine(trained, tmp_path / "engine")
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format_version"] = 99
+        (path / "meta.json").write_text(json.dumps(meta))
+        env = EdgeCloudEnvironment(build_device("mi8pro"), seed=9)
+        with pytest.raises(ConfigError, match="format"):
+            load_engine(tmp_path / "engine", env)

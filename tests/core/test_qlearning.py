@@ -1,0 +1,128 @@
+"""Tests for the Q-table and Algorithm-1 update rule."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.core.qlearning import QLearningConfig, QTable, epsilon_greedy
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = QLearningConfig()
+        assert config.learning_rate == 0.9
+        assert config.discount == 0.1
+        assert config.epsilon == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QLearningConfig(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            QLearningConfig(discount=1.0)
+        with pytest.raises(ConfigError):
+            QLearningConfig(epsilon=1.5)
+        with pytest.raises(ConfigError):
+            QLearningConfig(init_low=1.0, init_high=0.0)
+        with pytest.raises(ConfigError):
+            QLearningConfig(dtype="int8")
+
+
+class TestQTable:
+    def test_random_initialization_in_range(self):
+        table = QTable(100, 10, seed=0)
+        assert table.values.min() >= -1.0
+        assert table.values.max() <= 0.0
+
+    def test_dimensions(self):
+        table = QTable(3072, 66, seed=0)
+        assert table.num_states == 3072
+        assert table.num_actions == 66
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            QTable(0, 5)
+
+    def test_update_rule_exact(self):
+        """Q(S,A) <- Q(S,A) + gamma [R + mu max Q(S',.) - Q(S,A)]."""
+        config = QLearningConfig(learning_rate=0.5, discount=0.2)
+        table = QTable(4, 3, config=config, seed=0)
+        q_before = table.value(0, 1)
+        best_next = table.best_value(2)
+        table.update(0, 1, reward=-1.0, next_state=2)
+        expected = q_before + 0.5 * (-1.0 + 0.2 * best_next - q_before)
+        assert table.value(0, 1) == pytest.approx(expected, rel=1e-5)
+
+    def test_update_tracks_visits(self):
+        table = QTable(4, 3, seed=0)
+        assert table.visits[0, 1] == 0
+        table.update(0, 1, -1.0, 0)
+        assert table.visits[0, 1] == 1
+        assert table.update_count == 1
+
+    def test_best_action_is_argmax(self):
+        table = QTable(2, 4, seed=0)
+        table.values[1] = np.array([-3.0, -1.0, -2.0, -9.0])
+        assert table.best_action(1) == 1
+        assert table.best_value(1) == pytest.approx(-1.0)
+
+    def test_best_visited_action_ignores_untried(self):
+        table = QTable(2, 4, seed=0)
+        table.values[0] = np.array([-0.01, -5.0, -2.0, -0.02])
+        table.visits[0] = np.array([0, 1, 1, 0], dtype=np.uint32)
+        # Global argmax is the untried action 0; visited argmax is 2.
+        assert table.best_action(0) == 0
+        assert table.best_visited_action(0) == 2
+
+    def test_best_visited_falls_back_when_unvisited(self):
+        table = QTable(2, 4, seed=0)
+        assert table.best_visited_action(0) == table.best_action(0)
+
+    def test_float16_matches_paper_footprint(self):
+        """Section VI-C: 0.4 MB for the Mi8Pro's 3,072 x 66 table."""
+        table = QTable(3072, 66, config=QLearningConfig(dtype="float16"),
+                       seed=0)
+        assert table.memory_bytes == pytest.approx(0.4e6, rel=0.02)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        table = QTable(10, 5, seed=3)
+        table.update(2, 3, -1.5, 4)
+        path = tmp_path / "qtable.npz"
+        table.save(path)
+        loaded = QTable.load(path)
+        assert np.allclose(loaded.values, table.values)
+        assert loaded.update_count == table.update_count
+        assert loaded.visits[2, 3] == 1
+
+    def test_copy_is_deep(self):
+        table = QTable(4, 3, seed=0)
+        clone = table.copy()
+        clone.update(0, 0, -1.0, 1)
+        assert table.visits[0, 0] == 0
+        assert clone.visits[0, 0] == 1
+
+
+class TestEpsilonGreedy:
+    def test_zero_epsilon_is_greedy(self):
+        table = QTable(2, 4, seed=0)
+        rng = make_rng(0)
+        for _ in range(20):
+            assert epsilon_greedy(table, 0, rng, epsilon=0.0) \
+                == table.best_action(0)
+
+    def test_one_epsilon_is_uniform(self):
+        table = QTable(1, 8, seed=0)
+        rng = make_rng(1)
+        actions = {epsilon_greedy(table, 0, rng, epsilon=1.0)
+                   for _ in range(400)}
+        assert actions == set(range(8))
+
+    def test_exploration_rate_close_to_epsilon(self):
+        table = QTable(1, 10, seed=0)
+        rng = make_rng(2)
+        greedy = table.best_action(0)
+        explored = sum(
+            epsilon_greedy(table, 0, rng, epsilon=0.1) != greedy
+            for _ in range(5000)
+        )
+        # ~epsilon * (n-1)/n of choices deviate from the argmax.
+        assert 0.05 < explored / 5000 < 0.14

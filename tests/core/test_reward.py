@@ -1,0 +1,122 @@
+"""Tests for the equation (5) reward."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.reward import RewardConfig, compute_reward
+from repro.env.qos import UseCase
+from repro.env.result import ExecutionResult
+
+
+def _result(latency=20.0, energy=80.0, accuracy=70.0):
+    return ExecutionResult(
+        latency_ms=latency, energy_mj=energy, estimated_energy_mj=energy,
+        accuracy_pct=accuracy, target_key="local/cpu/fp32/vf0",
+    )
+
+
+def _case(zoo, qos=50.0, accuracy_target=None):
+    return UseCase("case", zoo["mobilenet_v3"], qos_ms=qos,
+                   accuracy_target=accuracy_target)
+
+
+class TestAccuracyBranch:
+    def test_accuracy_failure_dominates(self, zoo):
+        case = _case(zoo, accuracy_target=75.0)
+        failing = compute_reward(_result(accuracy=60.0), case)
+        # Worse than even an absurdly expensive accurate action.
+        expensive = compute_reward(_result(energy=4000.0),
+                                   _case(zoo, accuracy_target=None))
+        assert failing < expensive
+
+    def test_failure_ordered_by_accuracy(self, zoo):
+        case = _case(zoo, accuracy_target=75.0)
+        low = compute_reward(_result(accuracy=50.0), case)
+        high = compute_reward(_result(accuracy=70.0), case)
+        assert high > low
+
+    def test_raw_mode_failure_is_acc_minus_100(self, zoo):
+        case = _case(zoo, accuracy_target=75.0)
+        reward = compute_reward(_result(accuracy=60.0), case,
+                                RewardConfig(normalize=False))
+        assert reward == pytest.approx(-40.0)
+
+
+class TestQosBranches:
+    def test_lower_energy_higher_reward(self, zoo):
+        case = _case(zoo)
+        assert (compute_reward(_result(energy=50.0), case)
+                > compute_reward(_result(energy=100.0), case))
+
+    def test_latency_bonus_inside_qos(self, zoo):
+        """Eq. 5 rewards racing *to* the deadline, not past it."""
+        case = _case(zoo, qos=50.0)
+        fast = compute_reward(_result(latency=10.0), case)
+        near_deadline = compute_reward(_result(latency=49.0), case)
+        assert near_deadline > fast
+
+    def test_no_latency_bonus_when_violating(self, zoo):
+        case = _case(zoo, qos=50.0)
+        config = RewardConfig()
+        just_in = compute_reward(_result(latency=50.0), case, config)
+        just_out = compute_reward(_result(latency=50.1), case, config)
+        # Dropping the bonus creates a step at the deadline of about
+        # alpha * qos_seconds.
+        assert just_in - just_out > 0.8 * 0.1 * 0.05
+
+    def test_latency_bonus_is_a_tie_break(self, zoo):
+        """The bonus must never outvote a real energy difference."""
+        case = _case(zoo, qos=50.0)
+        cheap_fast = compute_reward(_result(latency=10.0, energy=50.0),
+                                    case)
+        dear_slow = compute_reward(_result(latency=49.0, energy=55.0),
+                                   case)
+        assert cheap_fast > dear_slow
+
+    def test_qos_violating_actions_compared_on_energy(self, zoo):
+        case = _case(zoo, qos=10.0)
+        cheap = compute_reward(_result(latency=20.0, energy=50.0), case)
+        dear = compute_reward(_result(latency=20.0, energy=100.0), case)
+        assert cheap > dear
+
+
+class TestUnits:
+    def test_normalized_energy_reference(self, zoo):
+        case = _case(zoo)
+        config = RewardConfig(energy_ref_mj=100.0)
+        reward = compute_reward(
+            _result(latency=60.0, energy=100.0, accuracy=70.0), case,
+            config,
+        )
+        # Violating branch: -E/ref + beta * acc = -1 + 0.07.
+        assert reward == pytest.approx(-1.0 + 0.1 * 0.7)
+
+    def test_raw_mode_uses_joules_and_seconds(self, zoo):
+        case = _case(zoo)
+        config = RewardConfig(normalize=False)
+        reward = compute_reward(
+            _result(latency=40.0, energy=2000.0, accuracy=70.0), case,
+            config,
+        )
+        assert reward == pytest.approx(-2.0 + 0.1 * 0.04 + 0.1 * 0.7)
+
+    def test_energy_override(self, zoo):
+        """Engines train on the *estimated* energy by default."""
+        case = _case(zoo)
+        result = ExecutionResult(
+            latency_ms=60.0, energy_mj=200.0, estimated_energy_mj=100.0,
+            accuracy_pct=70.0, target_key="x",
+        )
+        default = compute_reward(result, case)
+        truth = compute_reward(result, case, energy_mj=result.energy_mj)
+        assert default > truth
+
+
+class TestConfig:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            RewardConfig(alpha=-0.1)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ConfigError):
+            RewardConfig(energy_ref_mj=0.0)

@@ -1,0 +1,77 @@
+"""Tests for the unvisited-state sibling fallback."""
+
+import pytest
+
+from repro.core.engine import AutoScale
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.observation import Observation
+from repro.env.qos import use_case_for
+from repro.hardware.devices import build_device
+
+
+@pytest.fixture()
+def trained_engine(zoo):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=5)
+    engine = AutoScale(env, seed=5)
+    engine.run(use_case_for(zoo["mobilenet_v3"]), 100)
+    engine.freeze()
+    return engine
+
+
+class TestVarianceBlock:
+    def test_table_i_block_is_64(self, trained_engine):
+        """4 co-cpu x 4 co-mem x 2 rssi_w x 2 rssi_p bins."""
+        assert trained_engine._variance_block_size() == 64
+
+    def test_s_conv_is_not_a_variance_feature(self, trained_engine):
+        """Regression test: 's_conv' must not match the 's_co_' prefix."""
+        features = trained_engine.state_space.features
+        variance = [f.name for f in features
+                    if f.name.startswith(("s_co_", "s_rssi"))]
+        assert "s_conv" not in variance
+        assert len(variance) == 4
+
+
+class TestFallback:
+    def test_unseen_variance_state_borrows_sibling_action(
+            self, trained_engine, zoo):
+        """Trained only in S1, queried under weak Wi-Fi: the engine must
+        reuse the same network's trained decision, not a random-init
+        action."""
+        net = zoo["mobilenet_v3"]
+        quiet = Observation()
+        weak = Observation(rssi_wlan_dbm=-86.0)
+        quiet_state = trained_engine.observe_state(net, quiet)
+        weak_state = trained_engine.observe_state(net, weak)
+        assert trained_engine.qtable.visits[quiet_state].any()
+        assert not trained_engine.qtable.visits[weak_state].any()
+        assert trained_engine.predict(net, weak).key \
+            == trained_engine.predict(net, quiet).key
+
+    def test_nearest_sibling_preferred(self, trained_engine, zoo):
+        """With two trained siblings, the closer variance vector wins."""
+        import numpy as np
+
+        net = zoo["mobilenet_v3"]
+        weak_both = Observation(rssi_wlan_dbm=-86.0,
+                                rssi_p2p_dbm=-86.0)
+        state = trained_engine.observe_state(net, weak_both)
+        # Plant a distinct decision in the (weak, regular) sibling,
+        # which is closer to (weak, weak) than the trained S1 state.
+        near = trained_engine.observe_state(
+            net, Observation(rssi_wlan_dbm=-86.0)
+        )
+        trained_engine.qtable.visits[near, 7] = 1
+        trained_engine.qtable.values[near] = -np.inf
+        trained_engine.qtable.values[near, 7] = -0.5
+        assert trained_engine._sibling_fallback(state) == 7
+
+    def test_no_trained_sibling_falls_back_to_argmax(self, trained_engine,
+                                                     zoo):
+        """A completely unknown network block uses the plain argmax."""
+        net = zoo["inception_v3"]  # never trained
+        observation = Observation()
+        state = trained_engine.observe_state(net, observation)
+        action = trained_engine._sibling_fallback(state)
+        assert action == trained_engine.qtable.best_action(state)

@@ -1,0 +1,144 @@
+"""Tests for the Table-I state space."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.state import StateFeature, StateSpace, table_i_state_space
+from repro.env.observation import Observation
+
+
+@pytest.fixture()
+def space():
+    return table_i_state_space()
+
+
+class TestTableISize:
+    def test_3072_states(self, space):
+        """Footnote 8: the design space has 3,072 states."""
+        assert space.size == 3072
+
+    def test_eight_features(self, space):
+        assert len(space.features) == 8
+
+    def test_feature_order(self, space):
+        assert [f.name for f in space.features] == [
+            "s_conv", "s_fc", "s_rc", "s_mac", "s_co_cpu", "s_co_mem",
+            "s_rssi_w", "s_rssi_p",
+        ]
+
+
+class TestTableIBins:
+    """Bin boundaries verbatim from Table I."""
+
+    def test_s_conv(self, space):
+        feature = space.feature("s_conv")
+        assert feature.label_of(29) == "small"
+        assert feature.label_of(30) == "medium"
+        assert feature.label_of(49) == "medium"
+        assert feature.label_of(50) == "large"
+        assert feature.label_of(89) == "large"
+        assert feature.label_of(90) == "larger"
+
+    def test_s_fc(self, space):
+        feature = space.feature("s_fc")
+        assert feature.label_of(9) == "small"
+        assert feature.label_of(10) == "large"
+
+    def test_s_rc(self, space):
+        feature = space.feature("s_rc")
+        assert feature.label_of(0) == "small"
+        assert feature.label_of(24) == "large"
+
+    def test_s_mac(self, space):
+        feature = space.feature("s_mac")
+        assert feature.label_of(999.0) == "small"
+        assert feature.label_of(1000.0) == "medium"
+        assert feature.label_of(1999.0) == "medium"
+        assert feature.label_of(2000.0) == "large"
+
+    def test_s_co_cpu_zero_bin(self, space):
+        feature = space.feature("s_co_cpu")
+        assert feature.label_of(0.0) == "none"
+        assert feature.label_of(0.1) == "small"
+        assert feature.label_of(24.9) == "small"
+        assert feature.label_of(25.0) == "medium"
+        assert feature.label_of(74.9) == "medium"
+        assert feature.label_of(75.0) == "large"
+        assert feature.label_of(100.0) == "large"
+
+    def test_rssi_threshold(self, space):
+        for name in ("s_rssi_w", "s_rssi_p"):
+            feature = space.feature(name)
+            assert feature.label_of(-80.0) == "weak"
+            assert feature.label_of(-80.1) == "weak"
+            assert feature.label_of(-79.9) == "regular"
+
+
+class TestEncoding:
+    def test_index_in_range(self, space, zoo):
+        obs = Observation()
+        for network in zoo.values():
+            index = space.encode(network, obs)
+            assert 0 <= index < space.size
+
+    def test_distinct_networks_can_share_bins(self, space, zoo):
+        """MobileNet v3 and SSD-MobileNet v3 land in the same state —
+        this aliasing is what makes leave-one-out generalize."""
+        obs = Observation()
+        assert space.encode(zoo["mobilenet_v3"], obs) \
+            == space.encode(zoo["ssd_mobilenet_v3"], obs)
+
+    def test_observation_changes_state(self, space, zoo):
+        net = zoo["mobilenet_v3"]
+        quiet = space.encode(net, Observation())
+        busy = space.encode(net, Observation(cpu_util=0.9))
+        weak = space.encode(net, Observation(rssi_wlan_dbm=-86.0))
+        assert len({quiet, busy, weak}) == 3
+
+    def test_describe_labels(self, space, zoo):
+        labels = space.describe(zoo["mobilebert"], Observation())
+        assert labels["s_rc"] == "large"
+        assert labels["s_conv"] == "small"
+
+    def test_index_bijective_over_bins(self, space):
+        seen = set()
+        import itertools
+        radices = [f.num_bins for f in space.features]
+        for bins in itertools.product(*(range(r) for r in radices)):
+            seen.add(space.index_of(bins))
+        assert len(seen) == space.size
+
+
+class TestAblation:
+    def test_without_removes_feature(self, space):
+        smaller = space.without("s_rssi_p")
+        assert smaller.size == space.size // 2
+        with pytest.raises(KeyError):
+            smaller.feature("s_rssi_p")
+
+    def test_without_unknown_raises(self, space):
+        with pytest.raises(KeyError):
+            space.without("s_gpu")
+
+
+class TestValidation:
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ConfigError):
+            StateFeature("x", edges=(5, 2), labels=("a", "b", "c"))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ConfigError):
+            StateFeature("x", edges=(5,), labels=("a",))
+
+    def test_zero_bin_needs_extra_label(self):
+        feature = StateFeature("x", edges=(5,), labels=("z", "a", "b"),
+                               zero_bin=True)
+        assert feature.num_bins == 3
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigError):
+            StateSpace([])
+
+    def test_bad_bin_index_rejected(self, space):
+        with pytest.raises(ConfigError):
+            space.index_of((99,) * 8)

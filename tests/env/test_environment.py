@@ -1,0 +1,123 @@
+"""Tests for the EdgeCloudEnvironment."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.target import ExecutionTarget, Location
+from repro.hardware.devices import build_device
+from repro.models.quantization import Precision
+
+
+class TestConstruction:
+    def test_defaults_attach_cloud_and_tablet(self, env):
+        assert env.cloud is not None
+        assert env.connected is not None
+
+    def test_scenario_by_name(self, mi8pro_device):
+        env = EdgeCloudEnvironment(mi8pro_device, scenario="S4")
+        assert env.scenario.name == "S4"
+
+    def test_cloud_can_be_removed(self, mi8pro_device):
+        env = EdgeCloudEnvironment(mi8pro_device, cloud=False)
+        assert env.cloud is None
+        assert all(t.location is not Location.CLOUD
+                   for t in env.targets())
+
+    def test_removing_both_remotes_rejected(self, mi8pro_device):
+        with pytest.raises(ConfigError):
+            EdgeCloudEnvironment(mi8pro_device, cloud=False,
+                                 connected=False)
+
+
+class TestObserve:
+    def test_s1_observation_is_quiescent(self, env):
+        obs = env.observe()
+        assert obs.cpu_util == 0.0
+        assert obs.mem_util == 0.0
+        assert obs.rssi_wlan_dbm > -80.0
+
+    def test_observation_carries_clock(self, env, zoo, mobilenet_case):
+        env.execute(mobilenet_case.network, env.targets()[0])
+        obs = env.observe()
+        assert obs.now_ms > 0.0
+
+    def test_reset_rewinds_clock(self, env, mobilenet_case):
+        env.execute(mobilenet_case.network, env.targets()[0])
+        env.reset()
+        assert env.clock.now_ms == 0.0
+
+
+class TestExecute:
+    def test_execute_advances_clock(self, env, mobilenet_case):
+        before = env.clock.now_ms
+        result = env.execute(mobilenet_case.network, env.targets()[0])
+        assert env.clock.now_ms >= before + result.latency_ms
+
+    def test_estimate_is_deterministic_and_clockless(self, env,
+                                                     mobilenet_case):
+        obs = env.observe()
+        target = env.targets()[0]
+        before = env.clock.now_ms
+        a = env.estimate(mobilenet_case.network, target, obs)
+        b = env.estimate(mobilenet_case.network, target, obs)
+        assert a.latency_ms == b.latency_ms
+        assert env.clock.now_ms == before
+
+    def test_execute_noisy_around_estimate(self, env, mobilenet_case):
+        obs = env.observe()
+        target = env.targets()[0]
+        nominal = env.estimate(mobilenet_case.network, target, obs)
+        measured = env.execute(mobilenet_case.network, target, obs)
+        assert measured.latency_ms == pytest.approx(nominal.latency_ms,
+                                                    rel=0.35)
+
+    def test_cloud_execution(self, env, resnet_case):
+        target = ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
+        result = env.execute(resnet_case.network, target)
+        assert result.target_key == "cloud/gpu/fp32"
+        assert "remote_ms" in result.detail
+
+    def test_connected_execution(self, env, mobilenet_case):
+        target = ExecutionTarget(Location.CONNECTED, "dsp", Precision.INT8)
+        result = env.execute(mobilenet_case.network, target)
+        assert result.target_key == "connected/dsp/int8"
+
+    def test_missing_remote_rejected(self, mi8pro_device, mobilenet_case):
+        env = EdgeCloudEnvironment(mi8pro_device, connected=False)
+        target = ExecutionTarget(Location.CONNECTED, "dsp",
+                                 Precision.INT8)
+        with pytest.raises(ConfigError):
+            env.execute(mobilenet_case.network, target)
+
+
+class TestSeeding:
+    def test_same_seed_same_trajectory(self, mi8pro_device,
+                                       mobilenet_case):
+        def run(seed):
+            env = EdgeCloudEnvironment(build_device("mi8pro"),
+                                       scenario="D3", seed=seed)
+            target = env.targets()[0]
+            return [env.execute(mobilenet_case.network, target).energy_mj
+                    for _ in range(5)]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestLayerGranularity:
+    def test_execute_split(self, env, zoo):
+        net = zoo["inception_v1"]
+        local = ExecutionTarget(Location.LOCAL, "cpu", Precision.FP32,
+                                env.device.soc.cpu.num_vf_steps - 1)
+        remote = ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
+        result = env.execute_split(net, len(net.layers) // 2, local,
+                                   remote)
+        assert result.latency_ms > 0
+
+    def test_execute_pipelined(self, env, zoo):
+        net = zoo["mobilenet_v3"]
+        cpu = ExecutionTarget(Location.LOCAL, "cpu", Precision.INT8,
+                              env.device.soc.cpu.num_vf_steps - 1)
+        result = env.execute_pipelined(net, [(len(net.layers), cpu)])
+        assert result.target_key.startswith("mosaic[")

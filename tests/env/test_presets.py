@@ -1,0 +1,66 @@
+"""Tests for the composite scenario presets."""
+
+import pytest
+
+from repro.common import make_rng
+from repro.env.presets import PRESET_BUILDERS, build_preset
+
+
+class TestRoster:
+    def test_four_presets(self):
+        assert set(PRESET_BUILDERS) == {
+            "commute", "office", "couch_gaming", "subway",
+        }
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="commute"):
+            build_preset("beach")
+
+    def test_builders_fresh(self):
+        assert build_preset("commute") is not build_preset("commute")
+
+
+class TestSemantics:
+    def test_couch_gaming_combines_cpu_and_memory_load(self):
+        load, wlan, _ = build_preset("couch_gaming").sample(make_rng(0))
+        assert load.cpu_util >= 0.75
+        assert load.mem_util >= 0.5
+        assert wlan > -60.0
+
+    def test_office_browser_bursts(self):
+        scenario = build_preset("office")
+        rng = make_rng(1)
+        cpu = [scenario.sample(rng, t * 500.0)[0].cpu_util
+               for t in range(40)]
+        assert max(cpu) > 0.5
+        assert min(cpu) < 0.4
+
+    def test_subway_blacks_out_periodically(self):
+        scenario = build_preset("subway")
+        rng = make_rng(2)
+        in_tunnel = scenario.sample(rng, now_ms=1_000.0)[1]
+        above = scenario.sample(rng, now_ms=60_000.0)[1]
+        assert in_tunnel == -100.0
+        assert above > -100.0
+        # Even above ground the subway Wi-Fi is weak on average.
+        assert above <= -70.0
+
+    def test_subway_has_no_usable_peer(self):
+        _, _, p2p = build_preset("subway").sample(make_rng(3))
+        assert p2p <= -80.0
+
+    def test_commute_signal_drifts(self):
+        scenario = build_preset("commute")
+        rng = make_rng(4)
+        samples = [scenario.sample(rng, t * 1_000.0)[1]
+                   for t in range(60)]
+        assert max(samples) - min(samples) > 5.0
+
+    def test_environment_accepts_presets(self, mi8pro_device):
+        from repro.env.environment import EdgeCloudEnvironment
+
+        env = EdgeCloudEnvironment(mi8pro_device,
+                                   scenario=build_preset("office"),
+                                   seed=0)
+        observation = env.observe()
+        assert 0.0 <= observation.cpu_util <= 1.0

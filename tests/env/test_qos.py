@@ -1,0 +1,75 @@
+"""Tests for QoS targets and use cases (Section V-B)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.env.qos import (
+    QOS_NON_STREAMING_MS,
+    QOS_STREAMING_MS,
+    QOS_TRANSLATION_MS,
+    UseCase,
+    use_case_for,
+    use_cases_for_zoo,
+)
+
+
+class TestPaperTargets:
+    def test_non_streaming_is_50ms(self):
+        assert QOS_NON_STREAMING_MS == 50.0
+
+    def test_streaming_is_30fps(self):
+        assert QOS_STREAMING_MS == pytest.approx(33.33, abs=0.01)
+
+    def test_translation_is_100ms(self):
+        assert QOS_TRANSLATION_MS == 100.0
+
+
+class TestUseCaseFor:
+    def test_vision_non_streaming(self, zoo):
+        case = use_case_for(zoo["inception_v1"])
+        assert case.qos_ms == 50.0
+        assert case.name.endswith("non_streaming")
+
+    def test_vision_streaming(self, zoo):
+        case = use_case_for(zoo["ssd_mobilenet_v1"], streaming=True)
+        assert case.qos_ms == pytest.approx(1000.0 / 30.0)
+
+    def test_translation_ignores_streaming(self, zoo):
+        case = use_case_for(zoo["mobilebert"], streaming=True)
+        assert case.qos_ms == 100.0
+
+    def test_accuracy_target_carried(self, zoo):
+        case = use_case_for(zoo["resnet_50"], accuracy_target=65.0)
+        assert case.accuracy_target == 65.0
+
+
+class TestUseCase:
+    def test_meets_qos(self, zoo):
+        case = use_case_for(zoo["resnet_50"])
+        assert case.meets_qos(49.9)
+        assert not case.meets_qos(50.1)
+
+    def test_meets_accuracy_none_target(self, zoo):
+        case = use_case_for(zoo["resnet_50"])
+        assert case.meets_accuracy(1.0)
+
+    def test_meets_accuracy_threshold(self, zoo):
+        case = use_case_for(zoo["resnet_50"], accuracy_target=70.0)
+        assert case.meets_accuracy(70.0)
+        assert not case.meets_accuracy(69.9)
+
+    def test_invalid_qos_rejected(self, zoo):
+        with pytest.raises(ConfigError):
+            UseCase("x", zoo["resnet_50"], qos_ms=0.0)
+
+    def test_invalid_accuracy_target_rejected(self, zoo):
+        with pytest.raises(ConfigError):
+            UseCase("x", zoo["resnet_50"], qos_ms=50.0,
+                    accuracy_target=120.0)
+
+
+class TestZooHelper:
+    def test_all_networks_covered(self, zoo):
+        cases = use_cases_for_zoo(zoo)
+        assert len(cases) == len(zoo)
+        assert [c.network.name for c in cases] == sorted(zoo)

@@ -1,0 +1,74 @@
+"""Tests for the Table-IV environments."""
+
+import pytest
+
+from repro.common import make_rng
+from repro.env.scenarios import (
+    DYNAMIC_SCENARIOS,
+    SCENARIO_NAMES,
+    STATIC_SCENARIOS,
+    build_scenario,
+)
+
+
+class TestRoster:
+    def test_table_iv_names(self):
+        assert set(SCENARIO_NAMES) == {
+            "S1", "S2", "S3", "S4", "S5", "D1", "D2", "D3", "D4",
+        }
+
+    def test_static_dynamic_partition(self):
+        assert set(STATIC_SCENARIOS) == {"S1", "S2", "S3", "S4", "S5"}
+        assert set(DYNAMIC_SCENARIOS) == {"D1", "D2", "D3", "D4"}
+
+    def test_dynamic_flag(self):
+        for name in STATIC_SCENARIOS:
+            assert not build_scenario(name).dynamic
+        for name in DYNAMIC_SCENARIOS:
+            assert build_scenario(name).dynamic
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            build_scenario("S9")
+
+
+class TestSemantics:
+    def test_s1_is_quiescent(self):
+        load, wlan, p2p = build_scenario("S1").sample(make_rng(0))
+        assert load.is_idle
+        assert wlan > -80.0 and p2p > -80.0
+
+    def test_s2_cpu_intensive(self):
+        load, _, _ = build_scenario("S2").sample(make_rng(0))
+        assert load.cpu_util >= 0.75
+
+    def test_s3_memory_intensive(self):
+        load, _, _ = build_scenario("S3").sample(make_rng(0))
+        assert load.mem_util >= 0.75
+
+    def test_s4_weak_wifi_only(self):
+        _, wlan, p2p = build_scenario("S4").sample(make_rng(0))
+        assert wlan <= -80.0
+        assert p2p > -80.0
+
+    def test_s5_weak_p2p_only(self):
+        _, wlan, p2p = build_scenario("S5").sample(make_rng(0))
+        assert wlan > -80.0
+        assert p2p <= -80.0
+
+    def test_d3_signal_varies(self):
+        scenario = build_scenario("D3")
+        rng = make_rng(1)
+        samples = {round(scenario.sample(rng)[1], 3) for _ in range(50)}
+        assert len(samples) > 10
+
+    def test_d4_corunner_switches(self):
+        scenario = build_scenario("D4")
+        rng = make_rng(2)
+        early = scenario.sample(rng, now_ms=1_000.0)[0]
+        late = scenario.sample(rng, now_ms=61_000.0)[0]
+        # Music player (light) first minute, browser (bursty) next.
+        assert early.cpu_util != late.cpu_util
+
+    def test_builders_return_fresh_instances(self):
+        assert build_scenario("S1") is not build_scenario("S1")

@@ -1,0 +1,100 @@
+"""Tests for execution targets and action-space enumeration."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.env.target import ExecutionTarget, Location, enumerate_targets
+from repro.hardware.devices import build_device
+from repro.models.quantization import Precision
+
+
+class TestExecutionTarget:
+    def test_key_local_includes_vf(self):
+        target = ExecutionTarget(Location.LOCAL, "gpu", Precision.FP16, 3)
+        assert target.key == "local/gpu/fp16/vf3"
+
+    def test_key_remote_has_no_vf(self):
+        target = ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
+        assert target.key == "cloud/gpu/fp32"
+
+    def test_remote_with_dvfs_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32, 2)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutionTarget(Location.LOCAL, "fpga", Precision.FP32, 0)
+
+    def test_npu_role_accepted(self):
+        """The Section V-C extension: NPU/TPU actions."""
+        target = ExecutionTarget(Location.LOCAL, "npu", Precision.INT8, 0)
+        assert target.key == "local/npu/int8/vf0"
+
+    def test_is_remote(self):
+        assert ExecutionTarget(Location.CLOUD, "cpu",
+                               Precision.FP32).is_remote
+        assert not ExecutionTarget(Location.LOCAL, "cpu", Precision.FP32,
+                                   0).is_remote
+
+
+class TestEnumeration:
+    def test_mi8pro_has_papers_66_actions(self):
+        """Section V-C / footnote 8: ~66 actions on the Mi8Pro.
+
+        CPU 23 steps x {FP32, INT8} + GPU 7 steps x {FP32, FP16}
+        + DSP + cloud CPU/GPU + connected CPU/GPU/DSP = 66.
+        """
+        targets = enumerate_targets(
+            build_device("mi8pro"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"),
+        )
+        assert len(targets) == 66
+
+    def test_moto_action_count(self):
+        # CPU 15x2 + GPU 6x2 + cloud 2 + connected 3 = 47.
+        targets = enumerate_targets(
+            build_device("moto_x_force"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"),
+        )
+        assert len(targets) == 47
+
+    def test_without_dvfs_one_step_per_slot(self):
+        targets = enumerate_targets(
+            build_device("mi8pro"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"), with_dvfs=False,
+        )
+        # CPU 2 + GPU 2 + DSP 1 + cloud 2 + connected 3 = 10.
+        assert len(targets) == 10
+
+    def test_without_quantization(self):
+        targets = enumerate_targets(
+            build_device("mi8pro"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"), with_dvfs=False,
+            with_quantization=False,
+        )
+        keys = {t.key for t in targets}
+        assert "local/cpu/int8/vf22" not in keys
+        assert "local/cpu/fp32/vf22" in keys
+        # The DSP is INT8-only, so it survives unquantized enumeration.
+        assert "local/dsp/int8/vf0" in keys
+
+    def test_no_remotes(self):
+        targets = enumerate_targets(build_device("mi8pro"))
+        assert all(t.location is Location.LOCAL for t in targets)
+
+    def test_remote_targets_run_fp32_except_dsp(self):
+        targets = enumerate_targets(
+            build_device("mi8pro"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"),
+        )
+        for target in targets:
+            if target.is_remote and target.role != "dsp":
+                assert target.precision is Precision.FP32
+
+    def test_keys_unique(self):
+        targets = enumerate_targets(
+            build_device("mi8pro"), build_device("cloud_server"),
+            build_device("galaxy_tab_s6"),
+        )
+        keys = [t.key for t in targets]
+        assert len(set(keys)) == len(keys)

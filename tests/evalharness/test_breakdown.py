@@ -1,0 +1,89 @@
+"""Tests for the energy-breakdown analyzer."""
+
+import pytest
+
+from repro.env.target import ExecutionTarget, Location
+from repro.evalharness.breakdown import breakdown_table, decompose_energy
+from repro.models.quantization import Precision
+
+
+@pytest.fixture()
+def quiet(env):
+    return env.observe()
+
+
+def _cloud_gpu():
+    return ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
+
+
+def _local(env, role="cpu", precision=Precision.FP32):
+    proc = env.device.soc.processor(role)
+    return ExecutionTarget(Location.LOCAL, role, precision,
+                           proc.num_vf_steps - 1)
+
+
+class TestLocalBreakdown:
+    def test_components_sum_to_nominal_energy(self, env, zoo, quiet):
+        net = zoo["mobilenet_v3"]
+        target = _local(env)
+        breakdown = decompose_energy(env, net, target, quiet)
+        nominal = env.estimate(net, target, quiet)
+        assert breakdown.total_mj == pytest.approx(nominal.energy_mj)
+
+    def test_cpu_run_has_no_host_idle(self, env, zoo, quiet):
+        breakdown = decompose_energy(env, zoo["mobilenet_v3"],
+                                     _local(env, "cpu"), quiet)
+        assert breakdown.components_mj["host_idle"] == 0.0
+
+    def test_dsp_run_charges_host_idle(self, env, zoo, quiet):
+        breakdown = decompose_energy(env, zoo["mobilenet_v3"],
+                                     _local(env, "dsp", Precision.INT8),
+                                     quiet)
+        assert breakdown.components_mj["host_idle"] > 0.0
+
+    def test_compute_dominates_heavy_local_run(self, env, zoo, quiet):
+        breakdown = decompose_energy(env, zoo["resnet_50"],
+                                     _local(env, "cpu"), quiet)
+        assert breakdown.dominant_component() == "compute"
+
+
+class TestRemoteBreakdown:
+    def test_components_sum_to_nominal_energy(self, env, zoo, quiet):
+        net = zoo["resnet_50"]
+        breakdown = decompose_energy(env, net, _cloud_gpu(), quiet)
+        nominal = env.estimate(net, _cloud_gpu(), quiet)
+        assert breakdown.total_mj == pytest.approx(nominal.energy_mj)
+
+    def test_radio_tail_is_a_major_cloud_cost(self, env, zoo, quiet):
+        """The structural reason per-inference offloading is expensive
+        for light networks."""
+        breakdown = decompose_energy(env, zoo["mobilenet_v3"],
+                                     _cloud_gpu(), quiet)
+        assert breakdown.share("radio_tail") > 0.3
+
+    def test_tiny_payload_means_tiny_tx(self, env, zoo, quiet):
+        bert = decompose_energy(env, zoo["mobilebert"], _cloud_gpu(),
+                                quiet)
+        vision = decompose_energy(env, zoo["resnet_50"], _cloud_gpu(),
+                                  quiet)
+        assert bert.components_mj["tx"] < vision.components_mj["tx"]
+
+    def test_weak_signal_inflates_tx(self, env, zoo):
+        from repro.env.observation import Observation
+
+        strong = decompose_energy(env, zoo["resnet_50"], _cloud_gpu(),
+                                  Observation(rssi_wlan_dbm=-55.0))
+        weak = decompose_energy(env, zoo["resnet_50"], _cloud_gpu(),
+                                Observation(rssi_wlan_dbm=-86.0))
+        assert weak.components_mj["tx"] > 3 * strong.components_mj["tx"]
+
+
+class TestBreakdownTable:
+    def test_side_by_side(self, env, zoo, quiet):
+        result = breakdown_table(
+            env, zoo["mobilenet_v3"],
+            [_local(env, "cpu", Precision.INT8), _cloud_gpu()], quiet,
+        )
+        assert len(result["breakdowns"]) == 2
+        assert "Energy breakdown" in result["table"]
+        assert "radio_tail" in result["table"]

@@ -1,0 +1,30 @@
+"""The calibration self-test, run as CI.
+
+Any change to the hardware/wireless/model numbers must keep every
+Section-III ordering intact; this is the guard rail.
+"""
+
+import pytest
+
+from repro.evalharness.calibration import run_calibration_checks
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_calibration_checks()
+
+
+def test_all_orderings_hold(result):
+    failed = [c.name for c in result["checks"] if not c.passed]
+    assert result["all_passed"], f"calibration drifted: {failed}"
+
+
+def test_covers_all_motivation_figures(result):
+    names = {c.name for c in result["checks"]}
+    for figure in ("fig2", "fig3", "fig4", "fig5", "fig6"):
+        assert any(name.startswith(figure) for name in names), figure
+
+
+def test_table_rendered(result):
+    assert "Calibration self-test" in result["table"]
+    assert "FAIL" not in result["table"]

@@ -1,0 +1,165 @@
+"""Tests for the Fig. 2-7 characterization drivers.
+
+These check the *shape* claims of the paper's motivation section against
+the simulator, which is the reproduction's core contract.
+"""
+
+import pytest
+
+from repro.evalharness.characterization import (
+    fig2_characterization,
+    fig3_layer_latency,
+    fig4_accuracy_tradeoff,
+    fig5_interference,
+    fig6_signal,
+    representative_targets,
+)
+
+
+class TestRepresentativeTargets:
+    def test_one_per_slot(self, env):
+        targets = representative_targets(env)
+        slots = {(t.location, t.role, t.precision) for t in targets}
+        assert len(slots) == len(targets) == 10
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_characterization()
+
+    def _best(self, result, device, network):
+        rows = [r for r in result["rows"]
+                if r["device"] == device and r["network"] == network]
+        feasible = [r for r in rows if r["meets_qos"]] or rows
+        return max(feasible, key=lambda r: r["ppw_norm"])
+
+    def test_high_end_light_nn_prefers_edge(self, result):
+        """Fig. 2: light NNs run best on-device on high-end phones."""
+        best = self._best(result, "mi8pro", "mobilenet_v3")
+        assert best["target"].startswith("local/")
+
+    def test_heavy_nn_prefers_cloud_everywhere(self, result):
+        for device in ("mi8pro", "galaxy_s10e", "moto_x_force"):
+            best = self._best(result, device, "mobilebert")
+            assert best["target"].startswith("cloud/")
+
+    def test_mid_end_must_scale_out(self, result):
+        """Fig. 2: the Moto X Force cannot win locally even on light
+        NNs; the connected edge device is the efficient choice."""
+        best = self._best(result, "moto_x_force", "inception_v1")
+        assert best["target"].startswith("connected/")
+
+    def test_ppw_normalized_to_edge_cpu(self, result):
+        for device in ("mi8pro",):
+            rows = [r for r in result["rows"]
+                    if r["device"] == device
+                    and r["target"].startswith("local/cpu/fp32")]
+            assert rows[0]["ppw_norm"] == pytest.approx(1.0)
+
+    def test_table_rendered(self, result):
+        assert "Fig. 2" in result["table"]
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_layer_latency()
+
+    def _row(self, result, network, processor):
+        return next(r for r in result["rows"]
+                    if r["network"] == network
+                    and r["processor"] == processor)
+
+    def test_fc_layers_slower_on_coprocessors(self, result):
+        """Fig. 3: FC latency explodes on GPU/DSP relative to CPU."""
+        cpu = self._row(result, "mobilenet_v3", "cpu")
+        gpu = self._row(result, "mobilenet_v3", "gpu")
+        dsp = self._row(result, "mobilenet_v3", "dsp")
+        assert gpu["fc_ms"] > 2.0 * cpu["fc_ms"]
+        assert dsp["fc_ms"] > 2.0 * cpu["fc_ms"]
+
+    def test_conv_layers_faster_on_coprocessors(self, result):
+        cpu = self._row(result, "inception_v1", "cpu")
+        gpu = self._row(result, "inception_v1", "gpu")
+        assert gpu["conv_ms"] < cpu["conv_ms"]
+
+    def test_conv_heavy_network_wins_on_coprocessor(self, result):
+        """Inception v1 total is faster off-CPU; MobileNet v3 is not."""
+        inception_gpu = self._row(result, "inception_v1", "gpu")
+        assert inception_gpu["total_norm_cpu"] < 1.0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_accuracy_tradeoff()
+
+    def _optimum(self, result, network, target):
+        return next(o for o in result["optima"]
+                    if o["network"] == network
+                    and o["accuracy_target"] == target)
+
+    def test_inception_low_target_picks_dsp_int8(self, result):
+        """Fig. 4 caption: at 50% the optimum is DSP INT8."""
+        assert self._optimum(result, "inception_v1", 50.0)[
+            "optimal_target"] == "local/dsp/int8/vf0"
+
+    def test_mobilenet_low_target_picks_cpu_int8(self, result):
+        """Fig. 4 caption: at 50% MobileNet v3's optimum is CPU INT8."""
+        assert self._optimum(result, "mobilenet_v3", 50.0)[
+            "optimal_target"].startswith("local/cpu/int8")
+
+    def test_higher_target_shifts_off_int8(self, result):
+        for network in ("inception_v1", "mobilenet_v3"):
+            optimum = self._optimum(result, network, 65.0)
+            assert "int8" not in optimum["optimal_target"]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_interference()
+
+    def _optimum(self, result, scenario):
+        return next(o["optimal_target"] for o in result["optima"]
+                    if o["scenario"] == scenario)
+
+    def test_quiet_optimum_is_cpu(self, result):
+        assert self._optimum(result, "S1").startswith("local/cpu")
+
+    def test_cpu_corunner_shifts_off_cpu(self, result):
+        """Fig. 5: CPU-intensive co-runner moves the optimum off-CPU."""
+        assert not self._optimum(result, "S2").startswith("local/cpu")
+
+    def test_memory_corunner_shifts_off_device(self, result):
+        """Fig. 5: memory-intensive co-runner moves the optimum off the
+        device entirely."""
+        assert not self._optimum(result, "S3").startswith("local/")
+
+    def test_cpu_ppw_degrades_under_cpu_corunner(self, result):
+        def cpu_ppw(scenario):
+            return next(r["ppw_norm"] for r in result["rows"]
+                        if r["scenario"] == scenario
+                        and r["target"].startswith("local/cpu/fp32"))
+        assert cpu_ppw("S2") < cpu_ppw("S1")
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_signal()
+
+    def _optimum(self, result, scenario):
+        return next(o["optimal_target"] for o in result["optima"]
+                    if o["scenario"] == scenario)
+
+    def test_strong_signal_prefers_cloud(self, result):
+        assert self._optimum(result, "S1").startswith("cloud/")
+
+    def test_weak_wifi_prefers_connected_edge(self, result):
+        """Fig. 6: weak Wi-Fi alone still leaves Wi-Fi Direct usable."""
+        assert self._optimum(result, "S4").startswith("connected/")
+
+    def test_both_weak_prefers_local(self, result):
+        assert self._optimum(result, "S4+S5").startswith("local/")

@@ -1,0 +1,39 @@
+"""Tests for the fleet transfer study."""
+
+import pytest
+
+from repro.evalharness.fleet import fleet_transfer_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return fleet_transfer_study(
+        fleet_devices=("galaxy_s10e",),
+        network_names=("mobilenet_v3", "resnet_50"),
+        train_runs=90, seed=0,
+    )
+
+
+class TestFleetStudy:
+    def test_one_row_per_fleet_device(self, study):
+        assert [r["device"] for r in study["rows"]] == ["galaxy_s10e"]
+
+    def test_transfer_accelerates(self, study):
+        row = study["rows"][0]
+        assert row["transfer_convergence"] <= row["scratch_convergence"]
+        assert study["mean_time_reduction_pct"] >= 0.0
+
+    def test_every_s10e_action_seeded_from_mi8pro(self, study):
+        """The S10e's capabilities are a subset of the donor's."""
+        row = study["rows"][0]
+        assert row["actions_seeded"] == 65
+
+    def test_transfer_energy_stays_near_oracle(self, study):
+        """Transfer anchors the policy to the donor's near-optimum: it
+        may miss the exact argmax (the 1% criterion), but its decisions
+        must stay within a few percent of the oracle's *energy*."""
+        row = study["rows"][0]
+        assert row["transfer_energy_gap_pct"] < 10.0
+
+    def test_table_rendered(self, study):
+        assert "Fleet transfer study" in study["table"]

@@ -1,0 +1,81 @@
+"""Tests for the Pareto design-space analysis."""
+
+import pytest
+
+from repro.evalharness.pareto import (
+    ParetoPoint,
+    design_space_analysis,
+    pareto_frontier,
+)
+
+
+def _point(key, latency, energy):
+    return ParetoPoint(key, latency, energy, accuracy_pct=70.0)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert _point("a", 10, 10).dominates(_point("b", 20, 20))
+
+    def test_equal_does_not_dominate(self):
+        assert not _point("a", 10, 10).dominates(_point("b", 10, 10))
+
+    def test_tradeoff_does_not_dominate(self):
+        fast_dear = _point("a", 5, 50)
+        slow_cheap = _point("b", 50, 5)
+        assert not fast_dear.dominates(slow_cheap)
+        assert not slow_cheap.dominates(fast_dear)
+
+    def test_better_on_one_axis_dominates(self):
+        assert _point("a", 10, 10).dominates(_point("b", 10, 20))
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [_point("good", 10, 10), _point("bad", 20, 20),
+                  _point("tradeoff", 5, 30)]
+        frontier = pareto_frontier(points)
+        keys = [p.target_key for p in frontier]
+        assert "bad" not in keys
+        assert set(keys) == {"good", "tradeoff"}
+
+    def test_sorted_by_latency(self):
+        points = [_point("slow", 30, 5), _point("fast", 5, 30),
+                  _point("mid", 15, 15)]
+        frontier = pareto_frontier(points)
+        latencies = [p.latency_ms for p in frontier]
+        assert latencies == sorted(latencies)
+
+    def test_frontier_energy_decreasing_in_latency(self):
+        """Along the frontier, more latency must buy less energy."""
+        points = [_point(str(i), 10 + i, 100 - 3 * i) for i in range(10)]
+        frontier = pareto_frontier(points)
+        energies = [p.energy_mj for p in frontier]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestDesignSpaceAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return design_space_analysis()
+
+    def test_covers_full_action_space(self, result):
+        assert len(result["points"]) == 66
+
+    def test_most_actions_are_dominated(self, result):
+        """The DVFS x precision x location lattice is highly redundant —
+        the insight behind the paper's 'infeasible to enumerate' claim
+        being about *finding* the frontier, not using it."""
+        assert result["dominated_fraction"] > 0.5
+
+    def test_oracle_pick_is_on_the_frontier(self, result):
+        assert result["oracle_on_frontier"]
+
+    def test_oracle_is_cheapest_feasible_frontier_point(self, result):
+        feasible = result["feasible_frontier"]
+        assert feasible
+        cheapest = min(feasible, key=lambda p: p.energy_mj)
+        assert cheapest.target_key == result["oracle_target"]
+
+    def test_table_rendered(self, result):
+        assert "Pareto frontier" in result["table"]

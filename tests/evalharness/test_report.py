@@ -1,0 +1,62 @@
+"""Tests for the one-call reproduction report."""
+
+import pathlib
+
+import pytest
+
+from repro.common import ConfigError
+from repro.evalharness.report import RESULT_ORDER, generate_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "benchmarks" / "results"
+    directory.mkdir(parents=True)
+    (directory / "fig09_main.txt").write_text("Fig. 9 table body\n")
+    (directory / "calibration.txt").write_text("PASS x14\n")
+    return directory
+
+
+class TestGenerateReport:
+    def test_includes_present_artifacts(self, results_dir):
+        path = generate_report(results_dir)
+        text = pathlib.Path(path).read_text()
+        assert "Fig. 9 table body" in text
+        assert "PASS x14" in text
+
+    def test_marks_missing_sections(self, results_dir):
+        text = pathlib.Path(generate_report(results_dir)).read_text()
+        assert "not yet generated" in text
+
+    def test_strict_mode_raises_on_missing(self, results_dir):
+        with pytest.raises(ConfigError, match="missing"):
+            generate_report(results_dir, strict=True)
+
+    def test_sections_follow_paper_order(self, results_dir):
+        text = pathlib.Path(generate_report(results_dir)).read_text()
+        positions = [text.index(heading)
+                     for _, heading in RESULT_ORDER]
+        assert positions == sorted(positions)
+
+    def test_custom_output_path(self, results_dir, tmp_path):
+        out = tmp_path / "custom.md"
+        assert generate_report(results_dir, output_path=out) == out
+        assert out.exists()
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            generate_report(tmp_path / "nope")
+
+    def test_real_results_directory_if_present(self):
+        """When the repo's own benchmark artifacts exist, the report
+        builds from them."""
+        real = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
+        if not real.is_dir():
+            pytest.skip("benchmarks not yet run")
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            out = generate_report(real, output_path=pathlib.Path(tmp)
+                                  / "REPORT.md")
+            text = out.read_text()
+            assert "Fig. 9" in text

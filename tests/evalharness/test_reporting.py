@@ -1,0 +1,41 @@
+"""Tests for the table/kv renderers."""
+
+from repro.evalharness.reporting import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["longer", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [12.345], [1.2345]])
+        assert "1235" in text     # >=100 -> no decimals
+        assert "12.3" in text     # >=10 -> one decimal
+        assert "1.23" in text     # <10 -> two decimals
+
+    def test_nan_rendered_as_na(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "n/a" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatKv:
+    def test_aligned_keys(self):
+        text = format_kv([("short", 1), ("much_longer_key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = format_kv([("k", "v")], title="Header")
+        assert text.startswith("Header")

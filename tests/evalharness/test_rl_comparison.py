@@ -1,0 +1,35 @@
+"""Tests for the RL design-comparison driver."""
+
+import pytest
+
+from repro.evalharness.rl_comparison import compare_rl_designs
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compare_rl_designs(network_names=("mobilenet_v3",),
+                              train_runs=100, eval_runs=10, seed=0)
+
+
+class TestCompareRlDesigns:
+    def test_all_four_learners(self, result):
+        assert [r["learner"] for r in result["rows"]] == [
+            "q_learning", "sarsa", "linear_q", "mlp_q",
+        ]
+
+    def test_tabular_learners_match_oracle(self, result):
+        rows = {r["learner"]: r for r in result["rows"]}
+        assert rows["q_learning"]["prediction_accuracy_pct"] >= 70.0
+        assert rows["sarsa"]["prediction_accuracy_pct"] >= 70.0
+
+    def test_linear_q_smallest_memory(self, result):
+        rows = {r["learner"]: r for r in result["rows"]}
+        assert rows["linear_q"]["memory_bytes"] \
+            < rows["q_learning"]["memory_bytes"]
+
+    def test_decision_overheads_positive(self, result):
+        for row in result["rows"]:
+            assert row["decide_us"] > 0
+
+    def test_table_rendered(self, result):
+        assert "RL design comparison" in result["table"]

@@ -1,0 +1,111 @@
+"""Tests for the parameter sweeps."""
+
+import pytest
+
+from repro.evalharness.sweeps import (
+    epsilon_sweep,
+    interference_sweep,
+    qos_sweep,
+    signal_strength_sweep,
+)
+
+
+class TestSignalSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return signal_strength_sweep()
+
+    def test_strong_end_is_cloud(self, result):
+        assert result["rows"][0]["optimal_target"].startswith("cloud/")
+
+    def test_weak_end_leaves_cloud(self, result):
+        assert not result["rows"][-1]["optimal_target"].startswith(
+            "cloud/")
+
+    def test_at_least_one_crossover(self, result):
+        assert len(result["crossovers"]) >= 1
+
+    def test_crossover_near_table_i_threshold(self, result):
+        """The first location crossover should fall near the -80 dBm
+        state boundary of Table I (the link's knee)."""
+        first = result["crossovers"][0]
+        assert -90.0 <= first[1] <= -70.0
+
+
+class TestInterferenceSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return interference_sweep()
+
+    def test_idle_end_on_cpu(self, result):
+        assert result["rows"][0]["optimal_target"].startswith(
+            "local/cpu")
+
+    def test_loaded_end_off_cpu(self, result):
+        assert not result["rows"][-1]["optimal_target"].startswith(
+            "local/cpu")
+
+    def test_energy_monotone_in_load_for_fixed_family(self, result):
+        """The oracle's energy can only rise as interference grows."""
+        energies = [r["energy_mj"] for r in result["rows"]]
+        assert energies[-1] >= energies[0]
+
+
+class TestQosSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return qos_sweep()
+
+    def test_energy_non_increasing_among_feasible_deadlines(self, result):
+        """Among deadlines the oracle can actually meet, relaxing the
+        deadline can only reduce the minimum energy.  (An infeasible
+        deadline falls back to the unconstrained energy optimum, which
+        may be *cheaper* than the tightest feasible choice — the
+        oracle prefers feasibility lexicographically.)"""
+        feasible = [r["energy_mj"] for r in result["rows"]
+                    if r["meets_qos"]]
+        for tight, loose in zip(feasible, feasible[1:]):
+            assert loose <= tight * 1.001
+
+    def test_tightest_deadline_changes_choice(self, result):
+        keys = [r["optimal_target"] for r in result["rows"]]
+        assert len(set(keys)) >= 2
+
+    def test_infeasible_deadline_flagged(self, result):
+        assert not result["rows"][0]["meets_qos"]  # 20 ms is impossible
+
+
+class TestEpsilonSweep:
+    def test_runs_and_reports(self):
+        result = epsilon_sweep(epsilons=(0.05, 0.3), train_runs=80,
+                               eval_runs=8)
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["mean_energy_mj"] > 0
+
+
+class TestRadioComparison:
+    def test_lte_offload_costs_more(self):
+        from repro.evalharness.sweeps import radio_comparison
+
+        result = radio_comparison(network_name="resnet_50")
+        rows = {r["radio"]: r for r in result["rows"]}
+        assert rows["lte"]["cloud_energy_mj"] \
+            > rows["wifi"]["cloud_energy_mj"]
+
+    def test_lte_flips_the_resnet_breakeven(self):
+        """Over Wi-Fi the cloud wins ResNet-50; over LTE's tail-heavy
+        radio it loses to the best local target."""
+        from repro.evalharness.sweeps import radio_comparison
+
+        result = radio_comparison(network_name="resnet_50")
+        rows = {r["radio"]: r for r in result["rows"]}
+        assert rows["wifi"]["cloud_wins"]
+        assert not rows["lte"]["cloud_wins"]
+
+    def test_bert_stays_cloud_even_over_lte(self):
+        from repro.evalharness.sweeps import radio_comparison
+
+        result = radio_comparison(network_name="mobilebert")
+        rows = {r["radio"]: r for r in result["rows"]}
+        assert rows["lte"]["cloud_wins"]

@@ -1,0 +1,92 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.engine import AutoScale
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import use_case_for
+from repro.evalharness.tracing import TraceRecorder, load_trace
+from repro.hardware.devices import build_device
+
+
+@pytest.fixture()
+def traced(zoo):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=4)
+    engine = AutoScale(env, seed=4)
+    case = use_case_for(zoo["mobilenet_v3"])
+    recorder = TraceRecorder()
+    for _ in range(30):
+        step = engine.step(case)
+        recorder.record_step(step, case, at_ms=env.clock.now_ms)
+    return recorder, case
+
+
+class TestCapture:
+    def test_record_count(self, traced):
+        recorder, _ = traced
+        assert len(recorder) == 30
+
+    def test_records_carry_rewards(self, traced):
+        recorder, _ = traced
+        assert all(r.reward is not None for r in recorder.records)
+
+    def test_record_result_without_engine(self, zoo):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=4)
+        case = use_case_for(zoo["mobilenet_v3"])
+        result = env.execute(case.network, env.targets()[0])
+        recorder = TraceRecorder()
+        record = recorder.record_result(result, case)
+        assert record.reward is None
+        assert record.target_key == result.target_key
+
+
+class TestAnalysis:
+    def test_summary_fields(self, traced):
+        recorder, _ = traced
+        summary = recorder.summary()
+        assert summary["num_inferences"] == 30
+        assert summary["total_energy_mj"] > 0
+        assert 0.0 <= summary["qos_violation_pct"] <= 100.0
+
+    def test_location_shares_sum_to_one(self, traced):
+        recorder, _ = traced
+        shares = recorder.decisions_by_location()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_migrations_detected(self, traced):
+        recorder, _ = traced
+        migrations = recorder.migrations()
+        # Early training sweeps targets, so migrations must exist.
+        assert len(migrations) > 0
+        assert all(0 < i < 30 for i in migrations)
+
+    def test_violation_runs_partition_violations(self, traced):
+        recorder, _ = traced
+        total_violations = sum(1 for r in recorder.records
+                               if not r.meets_qos)
+        assert sum(recorder.violation_runs()) == total_violations
+
+    def test_estimator_mape_reasonable(self, traced):
+        recorder, _ = traced
+        assert 0.0 <= recorder.estimator_mape_pct() < 50.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder().summary()
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, traced, tmp_path):
+        recorder, _ = traced
+        path = recorder.save(tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert len(loaded) == len(recorder)
+        assert loaded.records[0] == recorder.records[0]
+        assert loaded.summary() == recorder.summary()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_trace(tmp_path / "nope.jsonl")

@@ -1,0 +1,68 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.battery import Battery, projected_runtime_hours
+
+
+class TestBattery:
+    def test_capacity_conversion(self):
+        # 1000 mAh x 1 V = 1 Wh = 3600 J = 3.6e6 mJ.
+        battery = Battery(capacity_mah=1000.0, voltage_v=1.0)
+        assert battery.capacity_mj == pytest.approx(3.6e6)
+
+    def test_drain_tracks_remaining(self):
+        battery = Battery(capacity_mah=1000.0, voltage_v=1.0)
+        battery.drain(1.8e6)
+        assert battery.remaining_fraction == pytest.approx(0.5)
+        assert not battery.is_empty
+
+    def test_empty_after_full_drain(self):
+        battery = Battery(capacity_mah=1000.0, voltage_v=1.0)
+        battery.drain(4e6)
+        assert battery.is_empty
+        assert battery.remaining_mj == 0.0
+
+    def test_recharge(self):
+        battery = Battery()
+        battery.drain(1000.0)
+        battery.recharge()
+        assert battery.remaining_fraction == 1.0
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ConfigError):
+            Battery().drain(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ConfigError):
+            Battery(voltage_v=-1.0)
+
+
+class TestProjectedRuntime:
+    def test_simple_projection(self):
+        battery = Battery(capacity_mah=1000.0, voltage_v=1.0)  # 3.6e6 mJ
+        # 1000 inferences/h at 100 mJ each + 900 mW background
+        # = 1e5 + 3.24e6 mJ/h.
+        hours = projected_runtime_hours(battery, 100.0, 1000.0,
+                                        background_power_mw=900.0)
+        assert hours == pytest.approx(3.6e6 / 3.34e6, rel=1e-6)
+
+    def test_cheaper_inference_lasts_longer(self):
+        battery = Battery()
+        slow = projected_runtime_hours(battery, 1000.0, 1000.0)
+        fast = projected_runtime_hours(battery, 100.0, 1000.0)
+        assert fast > slow
+
+    def test_zero_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            projected_runtime_hours(Battery(), 0.0, 0.0)
+
+    def test_background_power_reduces_runtime(self):
+        battery = Battery()
+        idle = projected_runtime_hours(battery, 100.0, 100.0)
+        busy = projected_runtime_hours(battery, 100.0, 100.0,
+                                       background_power_mw=500.0)
+        assert busy < idle

@@ -1,0 +1,101 @@
+"""Tests for the Table-II device roster."""
+
+import pytest
+
+from repro.hardware.devices import (
+    DEVICE_BUILDERS,
+    PHONE_NAMES,
+    DeviceClass,
+    build_device,
+)
+from repro.models.quantization import Precision
+
+
+class TestRoster:
+    def test_paper_platforms_plus_extensions(self):
+        assert set(DEVICE_BUILDERS) == {
+            # The paper's five platforms ...
+            "mi8pro", "galaxy_s10e", "moto_x_force", "galaxy_tab_s6",
+            "cloud_server",
+            # ... plus the Section V-C NPU/TPU extension variants.
+            "mi8pro_npu", "cloud_server_tpu",
+        }
+
+    def test_three_phones(self):
+        assert len(PHONE_NAMES) == 3
+        for name in PHONE_NAMES:
+            assert build_device(name).device_class is DeviceClass.PHONE
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            build_device("pixel_9")
+
+    def test_tablet_and_server_classes(self):
+        assert build_device("galaxy_tab_s6").device_class \
+            is DeviceClass.TABLET
+        assert build_device("cloud_server").device_class \
+            is DeviceClass.SERVER
+
+    def test_is_mobile(self):
+        assert build_device("mi8pro").is_mobile
+        assert not build_device("cloud_server").is_mobile
+
+
+class TestTableII:
+    """Clock rates and V/F step counts verbatim from Table II."""
+
+    def test_mi8pro(self):
+        soc = build_device("mi8pro").soc
+        assert soc.cpu.max_freq_mhz == pytest.approx(2800)
+        assert soc.cpu.num_vf_steps == 23
+        assert soc.processor("gpu").max_freq_mhz == pytest.approx(700)
+        assert soc.processor("gpu").num_vf_steps == 7
+        assert soc.has("dsp")
+
+    def test_galaxy_s10e(self):
+        soc = build_device("galaxy_s10e").soc
+        assert soc.cpu.max_freq_mhz == pytest.approx(2700)
+        assert soc.cpu.num_vf_steps == 21
+        assert soc.processor("gpu").num_vf_steps == 9
+        assert not soc.has("dsp")
+
+    def test_moto_x_force(self):
+        soc = build_device("moto_x_force").soc
+        assert soc.cpu.max_freq_mhz == pytest.approx(1900)
+        assert soc.cpu.num_vf_steps == 15
+        assert soc.processor("gpu").max_freq_mhz == pytest.approx(600)
+        assert soc.processor("gpu").num_vf_steps == 6
+        assert not soc.has("dsp")
+
+
+class TestCapabilities:
+    def test_dsp_is_int8_only_no_dvfs(self):
+        dsp = build_device("mi8pro").soc.processor("dsp")
+        assert dsp.supports(Precision.INT8)
+        assert not dsp.supports(Precision.FP32)
+        assert not dsp.supports_dvfs
+
+    def test_mobile_cpus_support_int8(self):
+        for name in PHONE_NAMES:
+            assert build_device(name).soc.cpu.supports(Precision.INT8)
+
+    def test_mobile_gpus_support_fp16(self):
+        for name in PHONE_NAMES:
+            gpu = build_device(name).soc.processor("gpu")
+            assert gpu.supports(Precision.FP16)
+
+    def test_cloud_is_fp32(self):
+        soc = build_device("cloud_server").soc
+        assert soc.cpu.supports(Precision.FP32)
+        assert not soc.cpu.supports(Precision.INT8)
+
+    def test_performance_tiering(self):
+        """Mid-end < high-end < tablet < server (per processor class)."""
+        moto = build_device("moto_x_force").soc.cpu.peak_gmacs
+        mi8 = build_device("mi8pro").soc.cpu.peak_gmacs
+        tab = build_device("galaxy_tab_s6").soc.cpu.peak_gmacs
+        server = build_device("cloud_server").soc.cpu.peak_gmacs
+        assert moto < mi8 < tab < server
+
+    def test_builders_return_fresh_instances(self):
+        assert build_device("mi8pro") is not build_device("mi8pro")

@@ -1,0 +1,60 @@
+"""Tests for DVFS table construction."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.dvfs import VFStep, build_vf_table
+
+
+class TestVFStep:
+    def test_valid(self):
+        step = VFStep(freq_mhz=1000, voltage_v=0.8)
+        assert step.freq_mhz == 1000
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            VFStep(freq_mhz=0, voltage_v=0.8)
+
+    def test_non_positive_voltage_rejected(self):
+        with pytest.raises(ConfigError):
+            VFStep(freq_mhz=1000, voltage_v=-0.1)
+
+
+class TestBuildVfTable:
+    def test_step_count(self):
+        assert len(build_vf_table(23, 2800)) == 23
+
+    def test_top_step_is_peak(self):
+        table = build_vf_table(7, 700)
+        assert table[-1].freq_mhz == pytest.approx(700)
+        assert table[-1].voltage_v == pytest.approx(1.0)
+
+    def test_ascending_frequencies(self):
+        table = build_vf_table(15, 1900)
+        freqs = [s.freq_mhz for s in table]
+        assert freqs == sorted(freqs)
+
+    def test_ascending_voltages(self):
+        table = build_vf_table(15, 1900)
+        volts = [s.voltage_v for s in table]
+        assert volts == sorted(volts)
+
+    def test_min_freq_ratio(self):
+        table = build_vf_table(10, 1000, min_freq_ratio=0.5)
+        assert table[0].freq_mhz == pytest.approx(500)
+
+    def test_single_step_table(self):
+        table = build_vf_table(1, 750)
+        assert len(table) == 1
+        assert table[0].freq_mhz == pytest.approx(750)
+        assert table[0].voltage_v == pytest.approx(1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            build_vf_table(0, 1000)
+        with pytest.raises(ConfigError):
+            build_vf_table(5, -100)
+        with pytest.raises(ConfigError):
+            build_vf_table(5, 1000, min_freq_ratio=1.5)
+        with pytest.raises(ConfigError):
+            build_vf_table(5, 1000, min_voltage_v=1.2, max_voltage_v=1.0)

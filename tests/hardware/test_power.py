@@ -1,0 +1,103 @@
+"""Tests for the equation (1)-(3) energy models."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.dvfs import build_vf_table
+from repro.hardware.power import (
+    busy_idle_energy_mj,
+    cpu_energy_mj,
+    dsp_energy_mj,
+    gpu_energy_mj,
+    platform_energy_mj,
+)
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.models.quantization import Precision
+
+
+def _proc(kind, busy=2000.0, idle=200.0, steps=4, cores=4):
+    precisions = ({Precision.INT8: 1.0} if kind is ProcessorKind.DSP
+                  else {Precision.FP32: 1.0})
+    return Processor(
+        name=f"test_{kind.value}", kind=kind,
+        vf_table=build_vf_table(steps, 1000),
+        peak_gmacs=10.0, precisions=precisions,
+        busy_power_mw=busy, idle_power_mw=idle, num_cores=cores,
+    )
+
+
+class TestBusyIdleEnergy:
+    def test_pure_busy(self):
+        proc = _proc(ProcessorKind.GPU)
+        # 2000 mW for 100 ms = 200 mJ.
+        assert busy_idle_energy_mj(proc, 100.0) == pytest.approx(200.0)
+
+    def test_idle_portion(self):
+        proc = _proc(ProcessorKind.GPU)
+        energy = busy_idle_energy_mj(proc, 0.0, idle_ms=50.0)
+        assert energy == pytest.approx(200.0 * 50.0 / 1000.0)
+
+    def test_lower_vf_step_cheaper(self):
+        proc = _proc(ProcessorKind.GPU)
+        assert (busy_idle_energy_mj(proc, 100.0, vf_index=0)
+                < busy_idle_energy_mj(proc, 100.0, vf_index=-1))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            busy_idle_energy_mj(_proc(ProcessorKind.GPU), -1.0)
+
+
+class TestCpuEnergy:
+    def test_eq1_full_cluster(self):
+        proc = _proc(ProcessorKind.CPU)
+        assert cpu_energy_mj(proc, 100.0) == pytest.approx(200.0)
+
+    def test_fewer_active_cores_cheaper(self):
+        proc = _proc(ProcessorKind.CPU)
+        assert (cpu_energy_mj(proc, 100.0, active_cores=1)
+                < cpu_energy_mj(proc, 100.0, active_cores=4))
+
+    def test_active_core_range_checked(self):
+        with pytest.raises(ConfigError):
+            cpu_energy_mj(_proc(ProcessorKind.CPU), 100.0, active_cores=9)
+
+    def test_rejects_non_cpu(self):
+        with pytest.raises(ConfigError):
+            cpu_energy_mj(_proc(ProcessorKind.GPU), 100.0)
+
+
+class TestGpuEnergy:
+    def test_eq2(self):
+        proc = _proc(ProcessorKind.GPU, busy=1000.0, idle=100.0)
+        assert gpu_energy_mj(proc, 10.0, idle_ms=10.0) == pytest.approx(
+            1000.0 * 10.0 / 1000.0 + 100.0 * 10.0 / 1000.0
+        )
+
+    def test_rejects_non_gpu(self):
+        with pytest.raises(ConfigError):
+            gpu_energy_mj(_proc(ProcessorKind.CPU), 10.0)
+
+
+class TestDspEnergy:
+    def test_eq3_constant_power(self):
+        proc = _proc(ProcessorKind.DSP, busy=900.0, idle=100.0, steps=1)
+        # E_DSP = P_DSP * R_latency.
+        assert dsp_energy_mj(proc, 40.0) == pytest.approx(36.0)
+
+    def test_rejects_non_dsp(self):
+        with pytest.raises(ConfigError):
+            dsp_energy_mj(_proc(ProcessorKind.CPU), 10.0)
+
+    def test_negative_latency_rejected(self):
+        proc = _proc(ProcessorKind.DSP, steps=1)
+        with pytest.raises(ConfigError):
+            dsp_energy_mj(proc, -5.0)
+
+
+class TestPlatformEnergy:
+    def test_value(self):
+        assert platform_energy_mj(500.0, 100.0) == pytest.approx(50.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            platform_energy_mj(-1.0, 10.0)

@@ -1,0 +1,59 @@
+"""Tests for the SoC composition."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.devices import mi8pro
+from repro.hardware.dvfs import build_vf_table
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.hardware.soc import MobileSoC
+from repro.models.quantization import Precision
+
+
+def _cpu():
+    return Processor(
+        name="c", kind=ProcessorKind.CPU,
+        vf_table=build_vf_table(2, 1000), peak_gmacs=1.0,
+        precisions={Precision.FP32: 1.0},
+        busy_power_mw=100.0, idle_power_mw=10.0,
+    )
+
+
+class TestMobileSoC:
+    def test_requires_cpu(self):
+        with pytest.raises(ConfigError):
+            MobileSoC(name="x", processors={}, platform_idle_mw=100.0)
+
+    def test_roles_ordered(self):
+        soc = mi8pro().soc
+        assert soc.roles == ("cpu", "gpu", "dsp")
+
+    def test_processor_lookup(self):
+        soc = mi8pro().soc
+        assert soc.processor("gpu").kind is ProcessorKind.GPU
+
+    def test_missing_role_keyerror_names_available(self):
+        soc = MobileSoC(name="x", processors={"cpu": _cpu()},
+                        platform_idle_mw=100.0)
+        with pytest.raises(KeyError, match="cpu"):
+            soc.processor("dsp")
+
+    def test_role_kind_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            MobileSoC(name="x", processors={"cpu": _cpu(), "gpu": _cpu()},
+                      platform_idle_mw=100.0)
+
+    def test_has(self):
+        soc = MobileSoC(name="x", processors={"cpu": _cpu()},
+                        platform_idle_mw=100.0)
+        assert soc.has("cpu")
+        assert not soc.has("gpu")
+
+    def test_negative_platform_power_rejected(self):
+        with pytest.raises(ConfigError):
+            MobileSoC(name="x", processors={"cpu": _cpu()},
+                      platform_idle_mw=-1.0)
+
+    def test_cpu_property(self):
+        soc = mi8pro().soc
+        assert soc.cpu is soc.processor("cpu")

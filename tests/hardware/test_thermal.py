@@ -1,0 +1,51 @@
+"""Tests for the thermal throttling model."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.thermal import ThermalModel
+
+
+class TestFrequencyCap:
+    def test_no_throttle_below_threshold(self):
+        model = ThermalModel(threshold=0.9)
+        assert model.frequency_cap(0.4, 0.4) == 1.0
+
+    def test_throttles_above_threshold(self):
+        model = ThermalModel(threshold=0.9)
+        assert model.frequency_cap(1.0, 0.9) < 1.0
+
+    def test_cap_floor_at_full_load(self):
+        model = ThermalModel(threshold=0.9, max_cap=0.62)
+        assert model.frequency_cap(1.0, 1.0) == pytest.approx(0.62)
+
+    def test_monotone_in_corunner_load(self):
+        model = ThermalModel()
+        caps = [model.frequency_cap(1.0, util)
+                for util in (0.0, 0.3, 0.6, 0.9, 1.0)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_utilization_range_checked(self):
+        with pytest.raises(ConfigError):
+            ThermalModel().frequency_cap(1.5, 0.0)
+
+
+class TestSlowdown:
+    def test_slowdown_is_reciprocal_cap(self):
+        model = ThermalModel()
+        cap = model.frequency_cap(1.0, 0.8)
+        assert model.slowdown(1.0, 0.8) == pytest.approx(1.0 / cap)
+
+    def test_slowdown_at_least_one(self):
+        model = ThermalModel()
+        assert model.slowdown(0.1, 0.1) == 1.0
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            ThermalModel(threshold=2.5)
+
+    def test_bad_cap(self):
+        with pytest.raises(ConfigError):
+            ThermalModel(max_cap=0.0)

@@ -1,0 +1,106 @@
+"""Tests for co-runner models."""
+
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.interference.corunner import (
+    ConstantCoRunner,
+    CoRunnerLoad,
+    SwitchingCoRunner,
+    TraceCoRunner,
+    cpu_intensive_corunner,
+    memory_intensive_corunner,
+    music_player,
+    no_corunner,
+    web_browser,
+)
+
+
+class TestCoRunnerLoad:
+    def test_defaults_idle(self):
+        assert CoRunnerLoad().is_idle
+
+    def test_range_checked(self):
+        with pytest.raises(ConfigError):
+            CoRunnerLoad(cpu_util=1.2)
+        with pytest.raises(ConfigError):
+            CoRunnerLoad(mem_util=-0.1)
+
+
+class TestStaticCoRunners:
+    def test_none(self):
+        load = no_corunner().sample(make_rng(0))
+        assert load.is_idle
+
+    def test_cpu_intensive_profile(self):
+        load = cpu_intensive_corunner().sample(make_rng(0))
+        assert load.cpu_util >= 0.75
+        assert load.mem_util <= 0.25
+
+    def test_memory_intensive_profile(self):
+        load = memory_intensive_corunner().sample(make_rng(0))
+        assert load.mem_util >= 0.75
+        assert load.cpu_util <= 0.35
+
+    def test_constant_ignores_time(self):
+        runner = ConstantCoRunner("x", CoRunnerLoad(cpu_util=0.5))
+        rng = make_rng(0)
+        assert runner.sample(rng, 0.0) == runner.sample(rng, 1e6)
+
+
+class TestTraceCoRunner:
+    def test_phases_cycle(self):
+        trace = TraceCoRunner("t", phases=((100.0, 0.8, 0.1),
+                                           (100.0, 0.2, 0.1)), jitter=0.0)
+        rng = make_rng(0)
+        assert trace.sample(rng, 50.0).cpu_util == pytest.approx(0.8)
+        assert trace.sample(rng, 150.0).cpu_util == pytest.approx(0.2)
+        # Wraps around after the 200 ms period.
+        assert trace.sample(rng, 250.0).cpu_util == pytest.approx(0.8)
+
+    def test_jitter_stays_in_range(self):
+        trace = TraceCoRunner("t", phases=((100.0, 0.95, 0.95),),
+                              jitter=0.2)
+        rng = make_rng(1)
+        for _ in range(200):
+            load = trace.sample(rng, 0.0)
+            assert 0.0 <= load.cpu_util <= 1.0
+            assert 0.0 <= load.mem_util <= 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceCoRunner("t", phases=())
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceCoRunner("t", phases=((0.0, 0.5, 0.5),))
+
+    def test_browser_is_burstier_than_music(self):
+        rng = make_rng(2)
+        browser = web_browser()
+        music = music_player()
+        browser_samples = [browser.sample(rng, t * 333.0).cpu_util
+                           for t in range(100)]
+        music_samples = [music.sample(rng, t * 333.0).cpu_util
+                         for t in range(100)]
+        assert max(browser_samples) > max(music_samples)
+        assert (max(browser_samples) - min(browser_samples)
+                > max(music_samples) - min(music_samples))
+
+
+class TestSwitchingCoRunner:
+    def test_switches_over_time(self):
+        runner = SwitchingCoRunner(
+            "d4",
+            (ConstantCoRunner("a", CoRunnerLoad(cpu_util=0.1)),
+             ConstantCoRunner("b", CoRunnerLoad(cpu_util=0.9))),
+            switch_every_ms=1000.0,
+        )
+        rng = make_rng(0)
+        assert runner.sample(rng, 500.0).cpu_util == pytest.approx(0.1)
+        assert runner.sample(rng, 1500.0).cpu_util == pytest.approx(0.9)
+        assert runner.sample(rng, 2500.0).cpu_util == pytest.approx(0.1)
+
+    def test_needs_two_corunners(self):
+        with pytest.raises(ConfigError):
+            SwitchingCoRunner("x", (no_corunner(),))

@@ -1,0 +1,82 @@
+"""Tests for the contention model (Fig. 5 semantics)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.hardware.processor import ProcessorKind
+from repro.interference.corunner import CoRunnerLoad
+from repro.interference.model import InterferenceModel
+
+
+@pytest.fixture()
+def model():
+    return InterferenceModel()
+
+
+class TestCpuInterference:
+    def test_no_load_no_slowdown(self, model):
+        assert model.slowdown(ProcessorKind.CPU, CoRunnerLoad()) == 1.0
+
+    def test_cpu_corunner_hits_cpu_hard(self, model):
+        """Fig. 5: CPU-intensive co-runner degrades CPU inference most."""
+        load = CoRunnerLoad(cpu_util=0.9, mem_util=0.1)
+        cpu = model.slowdown(ProcessorKind.CPU, load)
+        gpu = model.slowdown(ProcessorKind.GPU, load)
+        dsp = model.slowdown(ProcessorKind.DSP, load)
+        assert cpu > 2.0
+        assert cpu > gpu and cpu > dsp
+
+    def test_thermal_throttling_engages(self, model):
+        light = model.slowdown(ProcessorKind.CPU,
+                               CoRunnerLoad(cpu_util=0.2))
+        heavy = model.slowdown(ProcessorKind.CPU,
+                               CoRunnerLoad(cpu_util=0.95))
+        assert heavy / light > 2.0
+
+
+class TestMemoryInterference:
+    def test_memory_corunner_hits_all_processors(self, model):
+        """Fig. 5: memory-intensive co-runner degrades every on-device
+        processor."""
+        load = CoRunnerLoad(cpu_util=0.2, mem_util=0.95)
+        for kind in ProcessorKind:
+            assert model.slowdown(kind, load) > 1.5
+
+    def test_mem_penalty_scales_with_usage(self, model):
+        low = model.slowdown(ProcessorKind.GPU,
+                             CoRunnerLoad(mem_util=0.2))
+        high = model.slowdown(ProcessorKind.GPU,
+                              CoRunnerLoad(mem_util=0.9))
+        assert high > low
+
+
+class TestTransmission:
+    def test_no_load_no_slowdown(self, model):
+        assert model.transmission_slowdown(CoRunnerLoad()) == 1.0
+
+    def test_transmission_feels_cpu_contention(self, model):
+        busy = model.transmission_slowdown(
+            CoRunnerLoad(cpu_util=0.9, mem_util=0.5)
+        )
+        assert busy > 1.1
+
+
+class TestValidation:
+    def test_bad_cpu_share(self):
+        with pytest.raises(ConfigError):
+            InterferenceModel(cpu_share=1.0)
+
+    def test_negative_mem_penalty(self):
+        with pytest.raises(ConfigError):
+            InterferenceModel(mem_penalty={
+                ProcessorKind.CPU: -1.0,
+                ProcessorKind.GPU: 0.5,
+                ProcessorKind.DSP: 0.5,
+            })
+
+    def test_slowdowns_always_at_least_one(self, model):
+        for cpu in (0.0, 0.5, 1.0):
+            for mem in (0.0, 0.5, 1.0):
+                load = CoRunnerLoad(cpu_util=cpu, mem_util=mem)
+                for kind in ProcessorKind:
+                    assert model.slowdown(kind, load) >= 1.0

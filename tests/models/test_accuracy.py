@@ -1,0 +1,78 @@
+"""Tests for the accuracy tables (Fig. 4 semantics)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.models.accuracy import DEFAULT_ACCURACY, AccuracyTable
+from repro.models.quantization import Precision
+
+
+class TestDefaultTable:
+    def test_all_zoo_networks_present(self, zoo):
+        for name in zoo:
+            for precision in Precision:
+                assert 0 < DEFAULT_ACCURACY.lookup(name, precision) <= 100
+
+    def test_fp16_close_to_fp32(self):
+        for name in DEFAULT_ACCURACY.networks():
+            fp32 = DEFAULT_ACCURACY.lookup(name, Precision.FP32)
+            fp16 = DEFAULT_ACCURACY.lookup(name, Precision.FP16)
+            assert fp32 - fp16 == pytest.approx(0.1, abs=1e-9)
+
+    def test_int8_never_better_than_fp32(self):
+        for name in DEFAULT_ACCURACY.networks():
+            assert (DEFAULT_ACCURACY.lookup(name, Precision.INT8)
+                    <= DEFAULT_ACCURACY.lookup(name, Precision.FP32))
+
+    def test_fig4_inception_v1_thresholds(self):
+        """Fig. 4: Inception v1 INT8 passes a 50% target but fails 65%."""
+        int8 = DEFAULT_ACCURACY.lookup("inception_v1", Precision.INT8)
+        assert 50.0 <= int8 < 65.0
+        fp32 = DEFAULT_ACCURACY.lookup("inception_v1", Precision.FP32)
+        assert fp32 >= 65.0
+
+    def test_fig4_mobilenet_v3_thresholds(self):
+        """Fig. 4: MobileNet v3 INT8 passes 50% but fails 65%."""
+        int8 = DEFAULT_ACCURACY.lookup("mobilenet_v3", Precision.INT8)
+        assert 50.0 <= int8 < 65.0
+
+    def test_mobilenet_v3_is_quantization_sensitive(self):
+        drop_v3 = (DEFAULT_ACCURACY.lookup("mobilenet_v3", Precision.FP32)
+                   - DEFAULT_ACCURACY.lookup("mobilenet_v3", Precision.INT8))
+        drop_v2 = (DEFAULT_ACCURACY.lookup("mobilenet_v2", Precision.FP32)
+                   - DEFAULT_ACCURACY.lookup("mobilenet_v2", Precision.INT8))
+        assert drop_v3 > drop_v2
+
+
+class TestSatisfies:
+    def test_none_target_always_satisfied(self):
+        assert DEFAULT_ACCURACY.satisfies("mobilenet_v3", Precision.INT8,
+                                          None)
+
+    def test_threshold_comparison(self):
+        acc = DEFAULT_ACCURACY.lookup("resnet_50", Precision.FP32)
+        assert DEFAULT_ACCURACY.satisfies("resnet_50", Precision.FP32,
+                                          acc)
+        assert not DEFAULT_ACCURACY.satisfies("resnet_50", Precision.FP32,
+                                              acc + 0.1)
+
+
+class TestCustomTable:
+    def test_custom_base(self):
+        table = AccuracyTable(base_fp32={"net": 80.0},
+                              int8_drop={"net": 10.0})
+        assert table.lookup("net", Precision.FP32) == 80.0
+        assert table.lookup("net", Precision.INT8) == 70.0
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError, match="nonexistent"):
+            DEFAULT_ACCURACY.lookup("nonexistent", Precision.FP32)
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ConfigError):
+            AccuracyTable(base_fp32={"net": 150.0})
+
+    def test_drop_clamped_at_zero(self):
+        table = AccuracyTable(base_fp32={"net": 5.0},
+                              int8_drop={"net": 50.0})
+        assert table.lookup("net", Precision.INT8) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the layer taxonomy."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.models.layers import (
+    COMPUTE_INTENSIVE_TYPES,
+    LayerType,
+    default_memory_bound,
+    make_layer,
+)
+
+
+class TestLayerType:
+    def test_conv_fc_rc_are_compute_intensive(self):
+        for kind in (LayerType.CONV, LayerType.FC, LayerType.RC):
+            assert kind.is_compute_intensive
+
+    def test_tail_layers_are_not_compute_intensive(self):
+        for kind in (LayerType.POOL, LayerType.NORM, LayerType.SOFTMAX,
+                     LayerType.ARGMAX, LayerType.DROPOUT):
+            assert not kind.is_compute_intensive
+
+    def test_compute_intensive_set_has_exactly_three(self):
+        assert len(COMPUTE_INTENSIVE_TYPES) == 3
+
+
+class TestMakeLayer:
+    def test_defaults_memory_bound_by_type(self):
+        conv = make_layer(LayerType.CONV, "c0", macs=1e6)
+        fc = make_layer(LayerType.FC, "f0", macs=1e6)
+        rc = make_layer(LayerType.RC, "r0", macs=1e6)
+        # FC and RC layers stream weights: far more memory-bound (II-A).
+        assert fc.memory_bound > conv.memory_bound
+        assert rc.memory_bound >= fc.memory_bound
+
+    def test_explicit_memory_bound_respected(self):
+        layer = make_layer(LayerType.CONV, "c0", macs=1.0,
+                           memory_bound=0.42)
+        assert layer.memory_bound == 0.42
+
+    def test_every_type_has_default(self):
+        for kind in LayerType:
+            assert 0.0 <= default_memory_bound(kind) <= 1.0
+
+
+class TestLayerValidation:
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ConfigError):
+            make_layer(LayerType.CONV, "bad", macs=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            make_layer(LayerType.CONV, "bad", macs=1.0, param_bytes=-5)
+
+    def test_memory_bound_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            make_layer(LayerType.CONV, "bad", macs=1.0, memory_bound=1.5)
+
+    def test_layer_is_frozen(self):
+        layer = make_layer(LayerType.CONV, "c0", macs=1.0)
+        with pytest.raises(AttributeError):
+            layer.macs = 2.0

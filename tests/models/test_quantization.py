@@ -1,0 +1,37 @@
+"""Tests for precision/quantization support."""
+
+import pytest
+
+from repro.models.quantization import Precision
+
+
+class TestPrecision:
+    def test_bytes_per_value(self):
+        assert Precision.FP32.bytes_per_value == 4
+        assert Precision.FP16.bytes_per_value == 2
+        assert Precision.INT8.bytes_per_value == 1
+
+    def test_size_ratio(self):
+        assert Precision.FP32.size_ratio == 1.0
+        assert Precision.FP16.size_ratio == 0.5
+        assert Precision.INT8.size_ratio == 0.25
+
+    def test_scale_bytes(self):
+        assert Precision.INT8.scale_bytes(4000) == 1000
+
+    def test_compute_scale_monotone(self):
+        """Lower precision means more arithmetic throughput (II-B)."""
+        assert (Precision.INT8.compute_scale
+                > Precision.FP16.compute_scale
+                > Precision.FP32.compute_scale == 1.0)
+
+    def test_from_label(self):
+        assert Precision.from_label("int8") is Precision.INT8
+        assert Precision.from_label("fp32") is Precision.FP32
+
+    def test_from_label_unknown(self):
+        with pytest.raises(KeyError):
+            Precision.from_label("int4")
+
+    def test_str(self):
+        assert str(Precision.FP16) == "FP16"

@@ -1,0 +1,80 @@
+"""Tests for the network validator."""
+
+import pytest
+
+from repro.models.layers import LayerType, make_layer
+from repro.models.network import NeuralNetwork, Task
+from repro.models.validation import assert_valid_network, validate_network
+from repro.models.zoo import NETWORK_NAMES, build_custom_network
+
+
+class TestZooAndCustomPass:
+    @pytest.mark.parametrize("name", sorted(NETWORK_NAMES))
+    def test_every_zoo_network_validates(self, zoo, name):
+        assert validate_network(zoo[name]) == []
+
+    def test_custom_network_validates(self):
+        net = build_custom_network("validated", conv=25, fc=2,
+                                   mmacs=600.0)
+        assert validate_network(net) == []
+
+    def test_assert_valid_returns_network(self, zoo):
+        assert assert_valid_network(zoo["resnet_50"]) is zoo["resnet_50"]
+
+
+def _network(layers, input_bytes=50_000.0):
+    return NeuralNetwork(name="handmade",
+                         task=Task.IMAGE_CLASSIFICATION,
+                         layers=tuple(layers),
+                         input_bytes=input_bytes, output_bytes=4000.0)
+
+
+class TestDetectsProblems:
+    def test_no_compute_intensive_layer(self):
+        net = _network([
+            make_layer(LayerType.POOL, "p0", macs=1e6,
+                       output_bytes=1000.0),
+        ])
+        issues = validate_network(net)
+        assert any("CONV/FC/RC" in issue for issue in issues)
+
+    def test_tail_dominated_network(self):
+        net = _network([
+            make_layer(LayerType.CONV, "c0", macs=1e6,
+                       output_bytes=60_000.0),
+            make_layer(LayerType.POOL, "p0", macs=9e6,
+                       output_bytes=1000.0),
+        ])
+        issues = validate_network(net)
+        assert any("tail layers" in issue for issue in issues)
+
+    def test_growing_final_activation(self):
+        net = _network([
+            make_layer(LayerType.CONV, "c0", macs=1e7,
+                       output_bytes=900_000.0),
+        ], input_bytes=50_000.0)
+        issues = validate_network(net)
+        assert any("final activation" in issue for issue in issues)
+
+    def test_mixed_conv_and_rc(self):
+        net = _network([
+            make_layer(LayerType.CONV, "c0", macs=1e7,
+                       output_bytes=10_000.0),
+            make_layer(LayerType.RC, "r0", macs=1e7,
+                       output_bytes=1000.0),
+        ])
+        issues = validate_network(net)
+        assert any("mixed" in issue for issue in issues)
+
+    def test_non_network_input(self):
+        issues = validate_network("not a network")
+        assert issues and "NeuralNetwork" in issues[0]
+
+    def test_assert_raises_with_all_issues(self):
+        net = _network([
+            make_layer(LayerType.POOL, "p0", macs=1e6,
+                       output_bytes=900_000.0),
+        ])
+        with pytest.raises(ValueError) as excinfo:
+            assert_valid_network(net)
+        assert "failed validation" in str(excinfo.value)

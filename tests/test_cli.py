@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListCommand:
+    def test_lists_inventory(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "mi8pro" in text
+        assert "mobilebert" in text
+        assert "S4" in text
+
+
+class TestTrainPredict:
+    def test_train_save_predict_roundtrip(self, tmp_path):
+        save_dir = str(tmp_path / "engine")
+        code, text = run_cli(
+            "train", "--device", "mi8pro", "--network", "mobilenet_v3",
+            "--runs", "80", "--seed", "0", "--save", save_dir,
+        )
+        assert code == 0
+        assert "greedy decision" in text
+        assert "saved" in text
+
+        code, text = run_cli(
+            "predict", "--load", save_dir, "--device", "mi8pro",
+            "--network", "mobilenet_v3", "--scenario", "S4",
+        )
+        assert code == 0
+        assert "decision" in text
+        assert "mJ" in text
+
+    def test_train_without_save(self):
+        code, text = run_cli("train", "--runs", "30", "--seed", "1")
+        assert code == 0
+        assert "saved" not in text
+
+
+class TestExperimentCommand:
+    def test_fig3_prints_table(self):
+        code, text = run_cli("experiment", "fig3")
+        assert code == 0
+        assert "Fig. 3" in text
+
+    def test_fig5_prints_table(self):
+        code, text = run_cli("experiment", "fig5")
+        assert code == 0
+        assert "interference" in text
+
+
+class TestAnalysisExperiments:
+    def test_pareto_prints_frontier(self):
+        code, text = run_cli("experiment", "pareto")
+        assert code == 0
+        assert "Pareto frontier" in text
+
+    def test_calibration_all_pass(self):
+        code, text = run_cli("experiment", "calibration")
+        assert code == 0
+        assert "FAIL" not in text

@@ -1,0 +1,104 @@
+"""Failure-injection tests: connectivity loss and recovery.
+
+The paper's weak-signal scenarios degrade the link; real phones also lose
+it entirely (tunnels, elevators, AP reboots).  These tests verify both
+the substrate (an outage makes remote execution catastrophically slow,
+never impossible) and the scheduler (a trained engine re-learns away from
+the cloud during an outage and back after it).
+"""
+
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.core.engine import AutoScale
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import use_case_for
+from repro.env.scenarios import Scenario
+from repro.hardware.devices import build_device
+from repro.interference.corunner import no_corunner
+from repro.wireless.signal import ConstantSignal, OutageSignal
+
+
+def outage_scenario(period_ms=100_000.0, outage_ms=50_000.0):
+    return Scenario(
+        name="outage",
+        description="periodic Wi-Fi dead windows",
+        corunner=no_corunner(),
+        wlan_signal=OutageSignal(base=ConstantSignal(-55.0),
+                                 period_ms=period_ms,
+                                 outage_ms=outage_ms),
+        p2p_signal=ConstantSignal(-55.0),
+        dynamic=True,
+    )
+
+
+class TestOutageSignal:
+    def test_windows(self):
+        signal = OutageSignal(period_ms=100.0, outage_ms=25.0)
+        rng = make_rng(0)
+        assert signal.sample(rng, 10.0) == -100.0
+        assert signal.sample(rng, 30.0) == pytest.approx(-55.0)
+        assert signal.sample(rng, 110.0) == -100.0  # wraps
+
+    def test_in_outage_predicate(self):
+        signal = OutageSignal(period_ms=100.0, outage_ms=25.0)
+        assert signal.in_outage(0.0)
+        assert not signal.in_outage(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OutageSignal(period_ms=0.0)
+        with pytest.raises(ConfigError):
+            OutageSignal(period_ms=100.0, outage_ms=100.0)
+
+
+class TestSubstrateUnderOutage:
+    def test_cloud_becomes_catastrophic_not_impossible(self, zoo):
+        """The simulator degrades gracefully: an offload during an outage
+        completes, but at an absurd latency/energy that any scheduler
+        will learn to avoid."""
+        env = EdgeCloudEnvironment(build_device("mi8pro"),
+                                   scenario=outage_scenario(), seed=0)
+        case = use_case_for(zoo["resnet_50"])
+        cloud = next(t for t in env.targets()
+                     if t.key == "cloud/gpu/fp32")
+        observation = env.observe()  # clock at 0 -> inside the outage
+        assert observation.rssi_wlan_dbm == -100.0
+        result = env.execute(case.network, cloud, observation)
+        assert result.latency_ms > 10 * case.qos_ms
+
+
+class TestSchedulerAdaptation:
+    def test_engine_leaves_cloud_during_outage(self, zoo):
+        """Train at strong signal (cloud optimal for ResNet-50); the
+        outage state is a *different* Table-I state, so the engine
+        learns an on-device/connected policy for it without forgetting
+        the strong-signal policy."""
+        env = EdgeCloudEnvironment(build_device("mi8pro"),
+                                   scenario=outage_scenario(), seed=1)
+        engine = AutoScale(env, seed=1)
+        case = use_case_for(zoo["resnet_50"])
+        engine.run(case, 250)  # spans several outage cycles
+        engine.freeze()
+
+        from repro.env.observation import Observation
+        outage_obs = Observation(rssi_wlan_dbm=-100.0)
+        strong_obs = Observation(rssi_wlan_dbm=-55.0)
+        outage_pick = engine.predict(case.network, outage_obs)
+        strong_pick = engine.predict(case.network, strong_obs)
+        assert outage_pick.location.value != "cloud"
+        assert strong_pick.location.value == "cloud"
+
+    def test_p2p_survives_wlan_outage(self, zoo):
+        """Wi-Fi Direct is a separate radio: the connected edge device
+        remains reachable through a WLAN outage (the Fig. 6 S4 logic,
+        taken to the extreme)."""
+        env = EdgeCloudEnvironment(build_device("moto_x_force"),
+                                   scenario=outage_scenario(), seed=2)
+        case = use_case_for(zoo["inception_v1"])
+        from repro.baselines.oracle import OptOracle
+        from repro.env.observation import Observation
+        target = OptOracle(cache=False).select(
+            env, case, Observation(rssi_wlan_dbm=-100.0)
+        )
+        assert target.location.value == "connected"

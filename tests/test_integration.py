@@ -1,0 +1,187 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the public API exactly the way the README's quickstart and
+the paper's protocol do, and pin the direction of the headline claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoScale,
+    EdgeCloudEnvironment,
+    build_device,
+    build_network,
+    load_zoo,
+    use_case_for,
+)
+from repro.baselines import CloudOffload, EdgeCpuFp32, OptOracle
+from repro.core import QLearningConfig
+from repro.core.transfer import transfer_q_table
+from repro.evalharness import evaluate_scheduler
+
+
+class TestQuickstartFlow:
+    """The README quickstart, verbatim semantics."""
+
+    def test_train_freeze_predict(self):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=0)
+        engine = AutoScale(env, seed=0)
+        use_case = use_case_for(build_network("mobilenet_v3"))
+        engine.run(use_case, 100)
+        engine.freeze()
+        target = engine.predict(use_case.network, env.observe())
+        assert target in engine.action_space
+
+
+class TestHeadlineClaims:
+    """Directional versions of the paper's abstract numbers."""
+
+    @pytest.fixture(scope="class")
+    def trained(self):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=5)
+        engine = AutoScale(env, seed=5)
+        zoo = load_zoo()
+        cases = [use_case_for(zoo[n]) for n in
+                 ("mobilenet_v3", "inception_v1", "resnet_50",
+                  "mobilebert")]
+        for case in cases:
+            engine.run(case, 120)
+        engine.freeze()
+        return env, engine, cases
+
+    def _frozen_energy(self, env, engine, case, runs=15):
+        energies = []
+        for _ in range(runs):
+            energies.append(engine.step(case).result.energy_mj)
+        return float(np.mean(energies))
+
+    def test_large_improvement_over_edge_cpu(self, trained):
+        """Paper abstract: 9.8x over the mobile-CPU baseline (averaged
+        over the zoo; heavy networks dominate the mean)."""
+        env, engine, cases = trained
+        ratios = []
+        for case in cases:
+            autoscale = self._frozen_energy(env, engine, case)
+            baseline = evaluate_scheduler(env, EdgeCpuFp32(), case,
+                                          eval_runs=10).mean_energy_mj
+            ratios.append(baseline / autoscale)
+        assert np.mean(ratios) > 4.0
+
+    def test_improvement_over_cloud_offloading(self, trained):
+        """Paper abstract: 1.6x over always-offloading to the cloud."""
+        env, engine, cases = trained
+        ratios = []
+        for case in cases:
+            autoscale = self._frozen_energy(env, engine, case)
+            cloud = evaluate_scheduler(env, CloudOffload(), case,
+                                       eval_runs=10).mean_energy_mj
+            ratios.append(cloud / autoscale)
+        assert np.mean(ratios) > 1.2
+
+    def test_close_to_oracle(self, trained):
+        env, engine, cases = trained
+        oracle = OptOracle()
+        for case in cases:
+            obs = env.observe()
+            chosen = engine.predict(case.network, obs)
+            chosen_nominal = env.estimate(case.network, chosen, obs)
+            _, optimal_nominal = oracle.evaluate(env, case, obs)
+            assert chosen_nominal.energy_mj \
+                <= optimal_nominal.energy_mj * 1.3
+
+
+class TestStochasticAdaptation:
+    def test_adapts_to_weak_signal(self, zoo):
+        """Train in S1 (cloud optimal for ResNet-50), then move to S4:
+        the engine must learn to stop using the cloud."""
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=2)
+        engine = AutoScale(env, seed=2)
+        case = use_case_for(zoo["resnet_50"])
+        engine.run(case, 120)
+        engine.freeze()
+        s1_target = engine.predict(case.network, env.observe())
+        assert s1_target.location.value == "cloud"
+
+        from repro.env import build_scenario
+        env.scenario = build_scenario("S4")
+        env.clock.reset()
+        engine.unfreeze()
+        engine.run(case, 120)
+        engine.freeze()
+        s4_target = engine.predict(case.network, env.observe())
+        assert s4_target.location.value != "cloud"
+
+    def test_weak_signal_is_a_different_state(self, zoo):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=2)
+        engine = AutoScale(env, seed=2)
+        net = zoo["resnet_50"]
+        from repro.env import Observation
+        strong = engine.observe_state(net, Observation())
+        weak = engine.observe_state(net,
+                                    Observation(rssi_wlan_dbm=-86.0))
+        assert strong != weak
+
+
+class TestTransferPipeline:
+    def test_transfer_speeds_convergence(self, zoo):
+        """Fig. 14 end-to-end: Mi8Pro-trained table accelerates the
+        Galaxy S10e."""
+        case = use_case_for(zoo["inception_v1"])
+
+        source_env = EdgeCloudEnvironment(build_device("mi8pro"),
+                                          scenario="S1", seed=3)
+        source = AutoScale(source_env, seed=3)
+        source.run(case, 120)
+
+        def converge_steps(engine):
+            engine.convergence.reset()
+            for step in range(150):
+                engine.step(case)
+                if engine.converged:
+                    return engine.convergence.converged_at
+            return 150
+
+        scratch_env = EdgeCloudEnvironment(build_device("galaxy_s10e"),
+                                           scenario="S1", seed=4)
+        scratch = AutoScale(scratch_env, seed=4)
+        scratch_steps = converge_steps(scratch)
+
+        transfer_env = EdgeCloudEnvironment(build_device("galaxy_s10e"),
+                                            scenario="S1", seed=4)
+        transferred = AutoScale(transfer_env, seed=4)
+        transfer_q_table(source.qtable, source.action_space,
+                         transferred.qtable, transferred.action_space)
+        transfer_steps = converge_steps(transferred)
+
+        assert transfer_steps <= scratch_steps
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, zoo):
+        def run():
+            env = EdgeCloudEnvironment(build_device("moto_x_force"),
+                                       scenario="D3", seed=99)
+            engine = AutoScale(env, seed=99)
+            case = use_case_for(zoo["mobilenet_v2"])
+            steps = engine.run(case, 40)
+            return [round(s.reward, 9) for s in steps]
+
+        assert run() == run()
+
+
+class TestQTableDtypeEndToEnd:
+    def test_float16_engine_learns(self, zoo):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=6)
+        engine = AutoScale(env, seed=6,
+                           config=QLearningConfig(dtype="float16"))
+        case = use_case_for(zoo["mobilebert"])
+        engine.run(case, 100)
+        engine.freeze()
+        target = engine.predict(case.network, env.observe())
+        assert target.location.value == "cloud"

@@ -1,0 +1,63 @@
+"""Tests for the equation (4) transmission-energy model."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.wireless.energy import transmission_energy_mj
+from repro.wireless.profiles import default_wifi
+
+
+class TestEq4:
+    def test_components_sum(self):
+        link = default_wifi()
+        breakdown = transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                           total_latency_ms=50.0)
+        assert breakdown.radio_energy_mj == pytest.approx(
+            breakdown.tx_energy_mj + breakdown.rx_energy_mj
+            + breakdown.idle_energy_mj + breakdown.tail_energy_mj
+        )
+
+    def test_eq4_excludes_tail(self):
+        link = default_wifi()
+        breakdown = transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                           total_latency_ms=50.0)
+        assert breakdown.eq4_energy_mj == pytest.approx(
+            breakdown.radio_energy_mj - breakdown.tail_energy_mj
+        )
+
+    def test_times_partition_latency(self):
+        link = default_wifi()
+        breakdown = transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                           total_latency_ms=50.0)
+        assert (breakdown.tx_ms + breakdown.rx_ms + breakdown.wait_ms
+                == pytest.approx(50.0))
+
+    def test_tx_energy_matches_power_times_time(self):
+        link = default_wifi()
+        breakdown = transmission_energy_mj(link, -55.0, 64_000, 0,
+                                           total_latency_ms=50.0)
+        assert breakdown.tx_energy_mj == pytest.approx(
+            link.tx_power_mw(-55.0) * breakdown.tx_ms / 1000.0
+        )
+
+    def test_weak_signal_costs_more(self):
+        """Both slower transfers and a hotter radio at weak RSSI."""
+        link = default_wifi()
+        strong = transmission_energy_mj(link, -55.0, 500_000, 4_000,
+                                        total_latency_ms=500.0)
+        weak = transmission_energy_mj(link, -86.0, 500_000, 4_000,
+                                      total_latency_ms=500.0)
+        assert weak.tx_energy_mj > 3.0 * strong.tx_energy_mj
+
+    def test_tail_flag(self):
+        link = default_wifi()
+        no_tail = transmission_energy_mj(link, -55.0, 1000, 100,
+                                         total_latency_ms=10.0,
+                                         include_tail=False)
+        assert no_tail.tail_energy_mj == 0.0
+
+    def test_latency_shorter_than_transfer_rejected(self):
+        link = default_wifi()
+        with pytest.raises(ConfigError):
+            transmission_energy_mj(link, -86.0, 10_000_000, 0,
+                                   total_latency_ms=1.0)

@@ -1,0 +1,137 @@
+"""Tests for the wireless link model."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.wireless.link import WEAK_RSSI_DBM, LinkKind, WirelessLink
+from repro.wireless.profiles import default_wifi, default_wifi_direct
+
+
+class TestRateCurve:
+    def test_strong_signal_near_max(self):
+        link = default_wifi()
+        assert link.data_rate_mbps(-50.0) > 0.95 * link.max_rate_mbps
+
+    def test_weak_signal_collapses(self):
+        link = default_wifi()
+        assert link.data_rate_mbps(-90.0) < 0.1 * link.max_rate_mbps
+
+    def test_rate_monotone_in_rssi(self):
+        link = default_wifi()
+        rates = [link.data_rate_mbps(rssi)
+                 for rssi in (-95, -85, -80, -70, -55)]
+        assert rates == sorted(rates)
+
+    def test_rate_never_zero(self):
+        link = default_wifi()
+        assert link.data_rate_mbps(-100.0) > 0.0
+
+    def test_exponential_blowup_below_knee(self):
+        """Section III-B: latency increases exponentially at weak signal."""
+        link = default_wifi()
+        t_strong = link.transfer_ms(1_000_000, -55.0)
+        t_weak = link.transfer_ms(1_000_000, -86.0)
+        assert t_weak > 5.0 * t_strong
+
+
+class TestPowerCurve:
+    def test_tx_power_rises_at_weak_signal(self):
+        link = default_wifi()
+        assert link.tx_power_mw(-90.0) > link.tx_power_mw(-50.0)
+
+    def test_tx_power_within_bounds(self):
+        link = default_wifi()
+        for rssi in (-95, -80, -60, -40):
+            power = link.tx_power_mw(rssi)
+            assert link.tx_power_min_mw <= power <= link.tx_power_max_mw
+
+
+class TestRttAndWeakness:
+    def test_rtt_inflated_at_weak_signal(self):
+        link = default_wifi()
+        assert link.effective_rtt_ms(-90.0) > link.effective_rtt_ms(-55.0)
+
+    def test_weak_threshold_matches_table_i(self):
+        link = default_wifi()
+        assert link.is_weak(WEAK_RSSI_DBM)
+        assert link.is_weak(-85.0)
+        assert not link.is_weak(-79.9)
+
+    def test_weakness_bounds(self):
+        link = default_wifi()
+        assert 0.0 < link.weakness(-100.0) < 1.0
+        assert link.weakness(-100.0) > 0.99
+        assert link.weakness(-40.0) < 0.01
+
+
+class TestTransfer:
+    def test_zero_bytes_is_free(self):
+        assert default_wifi().transfer_ms(0, -55.0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            default_wifi().transfer_ms(-1, -55.0)
+
+    def test_transfer_linear_in_bytes(self):
+        link = default_wifi()
+        assert link.transfer_ms(2_000_000, -55.0) == pytest.approx(
+            2 * link.transfer_ms(1_000_000, -55.0)
+        )
+
+    def test_tail_energy(self):
+        link = default_wifi()
+        assert link.tail_energy_mj() == pytest.approx(
+            link.tail_power_mw * link.tail_ms / 1000.0
+        )
+
+
+class TestProfiles:
+    def test_kinds(self):
+        assert default_wifi().kind is LinkKind.WLAN
+        assert default_wifi_direct().kind is LinkKind.P2P
+
+    def test_p2p_has_shorter_rtt_and_tail(self):
+        """Why connected-edge offload is cheap for light NNs (Fig. 2)."""
+        wifi, p2p = default_wifi(), default_wifi_direct()
+        assert p2p.rtt_ms < wifi.rtt_ms
+        assert p2p.tail_energy_mj() < wifi.tail_energy_mj()
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ConfigError):
+            WirelessLink(name="x", kind=LinkKind.WLAN, max_rate_mbps=0.0)
+
+    def test_inverted_tx_power_range(self):
+        with pytest.raises(ConfigError):
+            WirelessLink(name="x", kind=LinkKind.WLAN, max_rate_mbps=10.0,
+                         tx_power_min_mw=900.0, tx_power_max_mw=700.0)
+
+
+class TestLteProfile:
+    def test_lte_is_wlan_kind(self):
+        from repro.wireless.profiles import default_lte
+
+        assert default_lte().kind is LinkKind.WLAN
+
+    def test_lte_tail_dwarfs_wifi(self):
+        """The RRC demotion tail — why per-inference cellular offloading
+        is so expensive."""
+        from repro.wireless.profiles import default_lte
+
+        assert default_lte().tail_energy_mj() \
+            > 2 * default_wifi().tail_energy_mj()
+
+    def test_lte_usable_at_rssi_that_kills_wifi(self):
+        """Cellular keeps a workable rate at RSSI levels where Wi-Fi has
+        collapsed (different link budget)."""
+        from repro.wireless.profiles import default_lte
+
+        lte, wifi = default_lte(), default_wifi()
+        assert (lte.data_rate_mbps(-88.0) / lte.max_rate_mbps
+                > wifi.data_rate_mbps(-88.0) / wifi.max_rate_mbps)
+
+    def test_lte_rtt_longer(self):
+        from repro.wireless.profiles import default_lte
+
+        assert default_lte().rtt_ms > default_wifi().rtt_ms

@@ -1,0 +1,86 @@
+"""Tests for the signal-strength processes."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.wireless.signal import (
+    ConstantSignal,
+    GaussianSignal,
+    RandomWalkSignal,
+)
+
+
+class TestConstantSignal:
+    def test_constant(self):
+        signal = ConstantSignal(-60.0)
+        rng = make_rng(0)
+        assert signal.sample(rng) == -60.0
+        assert signal.sample(rng, now_ms=99999.0) == -60.0
+
+    def test_implausible_rssi_rejected(self):
+        with pytest.raises(ConfigError):
+            ConstantSignal(-200.0)
+        with pytest.raises(ConfigError):
+            ConstantSignal(-5.0)
+
+
+class TestGaussianSignal:
+    def test_mean_and_spread(self):
+        signal = GaussianSignal(mean_dbm=-72.0, std_db=9.0)
+        rng = make_rng(1)
+        samples = [signal.sample(rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(-72.0, abs=1.0)
+        assert np.std(samples) == pytest.approx(9.0, abs=1.0)
+
+    def test_clamped_to_plausible_range(self):
+        signal = GaussianSignal(mean_dbm=-95.0, std_db=30.0)
+        rng = make_rng(2)
+        for _ in range(500):
+            value = signal.sample(rng)
+            assert -100.0 <= value <= -30.0
+
+    def test_sometimes_weak_sometimes_regular(self):
+        """D3 must actually cross the -80 dBm state boundary."""
+        signal = GaussianSignal(mean_dbm=-72.0, std_db=9.0)
+        rng = make_rng(3)
+        samples = [signal.sample(rng) for _ in range(500)]
+        assert any(s <= -80.0 for s in samples)
+        assert any(s > -80.0 for s in samples)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConfigError):
+            GaussianSignal(std_db=-1.0)
+
+
+class TestRandomWalkSignal:
+    def test_smooth_steps(self):
+        walk = RandomWalkSignal(mean_dbm=-70.0, std_db=8.0, reversion=0.05)
+        rng = make_rng(4)
+        previous = walk.sample(rng)
+        jumps = []
+        for _ in range(200):
+            current = walk.sample(rng)
+            jumps.append(abs(current - previous))
+            previous = current
+        # Consecutive samples should be correlated: typical step much
+        # smaller than the process's stationary spread.
+        assert np.median(jumps) < 8.0
+
+    def test_mean_reversion(self):
+        walk = RandomWalkSignal(mean_dbm=-70.0, std_db=5.0, reversion=0.2)
+        rng = make_rng(5)
+        samples = [walk.sample(rng) for _ in range(4000)]
+        assert np.mean(samples[500:]) == pytest.approx(-70.0, abs=2.5)
+
+    def test_reset(self):
+        walk = RandomWalkSignal(mean_dbm=-70.0)
+        rng = make_rng(6)
+        for _ in range(50):
+            walk.sample(rng)
+        walk.reset()
+        assert walk._state == -70.0
+
+    def test_bad_reversion_rejected(self):
+        with pytest.raises(ConfigError):
+            RandomWalkSignal(reversion=0.0)
