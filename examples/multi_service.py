@@ -51,7 +51,7 @@ def main():
     workload = MixedWorkload((
         SessionWorkload(photo, session_ms=8_000.0, idle_ms=45_000.0,
                         in_session_interval_ms=800.0),
-        PoissonWorkload(detect, rate_per_s=0.2),
+        PoissonWorkload(detect, arrivals_per_s=0.2),
         SessionWorkload(translate, session_ms=12_000.0,
                         idle_ms=90_000.0,
                         in_session_interval_ms=2_500.0),

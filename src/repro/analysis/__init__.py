@@ -1,0 +1,67 @@
+"""repro.analysis — repo-specific static analysis and runtime contracts.
+
+Two halves, one purpose: keep the unit/seeding/exception conventions the
+simulator's fidelity rests on from silently rotting.
+
+- **reprolint** (:mod:`~repro.analysis.rules`, :mod:`~repro.analysis.runner`,
+  the ``repro-lint`` CLI): an AST pass over ``src/repro`` enforcing
+  RL001 unit-suffix discipline, RL002 ``make_rng``-only seeding, RL003
+  float-equality bans, RL004 the ``ReproError`` exception taxonomy,
+  RL005 mutable defaults, and RL006 dataclass validation.  Run it with
+  ``python -m repro.analysis src/repro``.
+- **contracts** (:mod:`~repro.analysis.contracts`): runtime validators for
+  the physical invariants behind equations (1)-(4) — non-negative power,
+  positive latency, bounded utilization and RSSI, finite Q-values —
+  active by default under pytest.
+
+See ``docs/static_analysis.md`` for the rule catalogue with examples.
+"""
+
+from repro.analysis.allowlist import (
+    DEFAULT_ALLOWLIST_PATH,
+    Allowlist,
+    load_allowlist,
+)
+from repro.analysis.contracts import (
+    checked,
+    contracts_enabled,
+    ensure_duration_ms,
+    ensure_energy_mj,
+    ensure_finite,
+    ensure_latency_ms,
+    ensure_power_mw,
+    ensure_q_value,
+    ensure_rssi_dbm,
+    ensure_utilization,
+)
+from repro.analysis.rules import RULES, Rule
+from repro.analysis.runner import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "DEFAULT_ALLOWLIST_PATH",
+    "Allowlist",
+    "load_allowlist",
+    "checked",
+    "contracts_enabled",
+    "ensure_duration_ms",
+    "ensure_energy_mj",
+    "ensure_finite",
+    "ensure_latency_ms",
+    "ensure_power_mw",
+    "ensure_q_value",
+    "ensure_rssi_dbm",
+    "ensure_utilization",
+    "RULES",
+    "Rule",
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "Violation",
+]

@@ -1,0 +1,66 @@
+"""The grandfather allowlist for reprolint.
+
+Some identifiers legitimately contain a physical-quantity word without
+carrying a unit suffix — ``learning_rate`` is dimensionless, ``_energy_gp``
+is a Gaussian-process *model* of energy, not an energy.  Those names live
+in ``reprolint_allowlist.txt`` next to this module, one entry per line::
+
+    RL001 learning_rate   # dimensionless Q-learning hyperparameter
+
+The entry suppresses the named rule for that exact identifier everywhere
+in the tree.  Keep the file short: the review bar for adding a line is
+"this name genuinely does not denote a physical quantity", not "renaming
+is tedious".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Tuple
+
+from repro.common import ConfigError
+
+__all__ = ["Allowlist", "load_allowlist", "DEFAULT_ALLOWLIST_PATH"]
+
+#: The committed allowlist that ships with the package.
+DEFAULT_ALLOWLIST_PATH = Path(__file__).with_name("reprolint_allowlist.txt")
+
+
+@dataclass(frozen=True)
+class Allowlist:
+    """An immutable set of ``(rule, identifier)`` suppressions."""
+
+    entries: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
+    source: str = "<empty>"
+
+    def allows(self, violation):
+        """Whether ``violation`` is grandfathered by this allowlist."""
+        return (violation.rule, violation.name) in self.entries
+
+    def __len__(self):
+        return len(self.entries)
+
+
+def load_allowlist(path=None):
+    """Parse an allowlist file into an :class:`Allowlist`.
+
+    ``None`` loads the committed default; a missing explicit path is a
+    :class:`~repro.common.ConfigError` (a typo'd ``--allowlist`` should
+    not silently lint against an empty list).
+    """
+    path = DEFAULT_ALLOWLIST_PATH if path is None else Path(path)
+    if not path.exists():
+        raise ConfigError(f"allowlist file not found: {path}")
+    entries = set()
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or not parts[0].startswith("RL"):
+            raise ConfigError(
+                f"{path}:{lineno}: expected 'RLxxx identifier', got {raw!r}"
+            )
+        entries.add((parts[0], parts[1]))
+    return Allowlist(entries=frozenset(entries), source=str(path))

@@ -1,0 +1,84 @@
+"""Command-line front end for reprolint.
+
+Run as ``python -m repro.analysis src/repro`` or via the ``repro-lint``
+console script.  Exit status 0 means the tree is clean outside the
+committed allowlist; 1 means live violations; 2 means the run itself was
+misconfigured (bad path, unreadable allowlist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.rules import RULES
+from repro.analysis.runner import lint_paths
+from repro.common import ReproError
+
+__all__ = ["main"]
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-specific static analysis for the AutoScale reproduction: "
+            "unit-suffix discipline, make_rng-only seeding, float-equality "
+            "bans, ReproError exception taxonomy, mutable defaults, and "
+            "dataclass validation."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--allowlist", default=None, metavar="FILE",
+        help="alternate allowlist file (default: the committed one)",
+    )
+    parser.add_argument(
+        "--no-allowlist", action="store_true",
+        help="report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (e.g. RL001,RL004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv=None):
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.title}")
+            doc = (rule.check.__doc__ or "").strip().splitlines()[0]
+            print(f"       {doc}")
+        return 0
+    rule_ids = None
+    if options.select:
+        rule_ids = [token.strip() for token in options.select.split(",")
+                    if token.strip()]
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        if unknown:
+            print(f"repro-lint: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    allowlist = False if options.no_allowlist else options.allowlist
+    try:
+        report = lint_paths(options.paths, allowlist=allowlist,
+                            rule_ids=rule_ids)
+    except ReproError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""File discovery and aggregation for reprolint."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.analysis.allowlist import Allowlist, load_allowlist
+from repro.analysis.rules import run_rules
+from repro.analysis.violations import Violation
+from repro.common import ConfigError
+
+__all__ = ["LintReport", "iter_python_files", "lint_source", "lint_file",
+           "lint_paths"]
+
+#: Directory names that never contain linted sources.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", "build", "dist"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run.
+
+    ``violations`` are the live findings; ``suppressed`` are findings an
+    allowlist entry grandfathered.  ``ok`` is the CI gate condition.
+    """
+
+    violations: Tuple[Violation, ...] = ()
+    suppressed: Tuple[Violation, ...] = ()
+    files_checked: int = 0
+    allowlist_source: str = "<none>"
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def format(self):
+        lines = [violation.format() for violation in self.violations]
+        lines.append(
+            f"reprolint: {len(self.violations)} violation(s), "
+            f"{len(self.suppressed)} suppressed by allowlist "
+            f"({self.allowlist_source}), {self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths):
+    """Yield every ``.py`` file under ``paths`` in sorted order.
+
+    Build artifacts (``*.egg-info``, ``__pycache__``, ``build``/``dist``)
+    are skipped; a path that does not exist is a :class:`ConfigError`.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigError(f"lint path does not exist: {path}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIPPED_DIRS:
+                continue
+            if any(part.endswith(".egg-info") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_source(text, path="<string>", rule_ids=None):
+    """Lint one source string; the workhorse behind the rule self-tests."""
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        return [Violation(
+            path=str(path), line=error.lineno or 0, col=error.offset or 0,
+            rule="RL000", name="",
+            message=f"file does not parse: {error.msg}",
+        )]
+    return run_rules(tree, str(path), rule_ids=rule_ids)
+
+
+def lint_file(path, rule_ids=None):
+    """Lint one file from disk."""
+    return lint_source(Path(path).read_text(), path=str(path),
+                       rule_ids=rule_ids)
+
+
+def lint_paths(paths, allowlist=None, rule_ids=None):
+    """Lint a tree and split findings by the allowlist.
+
+    Args:
+        paths: files or directories to walk.
+        allowlist: an :class:`Allowlist`, a path to one, ``None`` for the
+            committed default, or ``False`` to lint with no allowlist.
+        rule_ids: optional subset of rule ids to run.
+    """
+    if allowlist is False:
+        allowlist = Allowlist(source="<disabled>")
+    elif not isinstance(allowlist, Allowlist):
+        allowlist = load_allowlist(allowlist)
+    live: List[Violation] = []
+    suppressed: List[Violation] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        for violation in lint_file(path, rule_ids=rule_ids):
+            if allowlist.allows(violation):
+                suppressed.append(violation)
+            else:
+                live.append(violation)
+    return LintReport(
+        violations=tuple(sorted(live)),
+        suppressed=tuple(sorted(suppressed)),
+        files_checked=files_checked,
+        allowlist_source=allowlist.source,
+    )

@@ -116,7 +116,7 @@ class BayesianOptScheduler(Scheduler):
         for use_case in use_cases:
           for environment in environments:
             targets = environment.targets()
-            case_rows, case_energy = [], []
+            case_rows, case_energies_mj = [], []
             for _ in range(self.warmup):
                 observation = environment.observe()
                 target = targets[int(rng.integers(len(targets)))]
@@ -125,7 +125,7 @@ class BayesianOptScheduler(Scheduler):
                 row = encode_pair(use_case.network, observation, target,
                                   environment)
                 case_rows.append(row)
-                case_energy.append(np.log(result.energy_mj))
+                case_energies_mj.append(np.log(result.energy_mj))
                 rows.append(row)
                 energies.append(np.log(result.energy_mj))
                 latencies.append(np.log(result.latency_ms))
@@ -134,7 +134,7 @@ class BayesianOptScheduler(Scheduler):
                 observation = environment.observe()
                 gp = GaussianProcess().fit(
                     scaler.transform(np.array(case_rows)),
-                    np.array(case_energy),
+                    np.array(case_energies_mj),
                 )
                 candidates = np.array([
                     encode_pair(use_case.network, observation, target,
@@ -143,14 +143,14 @@ class BayesianOptScheduler(Scheduler):
                 ])
                 mean, std = gp.predict(scaler.transform(candidates),
                                        return_std=True)
-                ei = expected_improvement(mean, std, min(case_energy))
+                ei = expected_improvement(mean, std, min(case_energies_mj))
                 target = targets[int(np.argmax(ei))]
                 result = environment.execute(use_case.network, target,
                                              observation)
                 row = encode_pair(use_case.network, observation, target,
                                   environment)
                 case_rows.append(row)
-                case_energy.append(np.log(result.energy_mj))
+                case_energies_mj.append(np.log(result.energy_mj))
                 rows.append(row)
                 energies.append(np.log(result.energy_mj))
                 latencies.append(np.log(result.latency_ms))
@@ -178,10 +178,10 @@ class BayesianOptScheduler(Scheduler):
             if use_case.meets_accuracy(environment.accuracy.lookup(
                 use_case.network.name, target.precision))
         ]
-        energy, latency = self.predict_energy_latency(
+        energy_mj, latency_ms = self.predict_energy_latency(
             use_case, observation, targets, environment
         )
-        feasible = latency <= use_case.qos_ms
+        feasible = latency_ms <= use_case.qos_ms
         pool = np.flatnonzero(feasible) if feasible.any() \
             else np.arange(len(targets))
-        return targets[int(pool[np.argmin(energy[pool])])]
+        return targets[int(pool[np.argmin(energy_mj[pool])])]

@@ -179,6 +179,21 @@ class ProfilingDataset:
     target_keys: List[str]
     use_case_names: List[str]
 
+    def __post_init__(self):
+        num_samples = len(self.energy_mj)
+        columns = (self.features, self.latency_ms, self.contexts,
+                   self.target_keys, self.use_case_names)
+        if any(len(column) != num_samples for column in columns):
+            raise ConfigError("profiling dataset columns disagree in length")
+        for name, values in (("energy_mj", self.energy_mj),
+                             ("latency_ms", self.latency_ms)):
+            values = np.asarray(values, dtype=float)
+            if values.size and (not np.all(np.isfinite(values))
+                                or np.any(values <= 0)):
+                raise ConfigError(
+                    f"profiling dataset {name} must be finite and positive"
+                )
+
     def __len__(self):
         return len(self.energy_mj)
 

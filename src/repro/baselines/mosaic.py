@@ -124,18 +124,18 @@ class MosaicScheduler(Scheduler):
 
         def consider(plan):
             nonlocal best_plan, best_rank
-            latency, energy = 0.0, 0.0
+            latency_ms, energy_mj = 0.0, 0.0
             previous = None
             for start, stop, role in plan:
                 ms, mj = segment_cost(role, start, stop)
                 if previous is not None and previous != role:
-                    latency += _HOP_MS
-                latency += ms
-                energy += mj
+                    latency_ms += _HOP_MS
+                latency_ms += ms
+                energy_mj += mj
                 previous = role
-            energy += base_mw * latency / 1000.0
+            energy_mj += base_mw * latency_ms / 1000.0
             # Throughput-first: minimize predicted latency, then energy.
-            rank = (latency, energy)
+            rank = (latency_ms, energy_mj)
             if best_rank is None or rank < best_rank:
                 best_plan, best_rank = plan, rank
 

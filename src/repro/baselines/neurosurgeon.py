@@ -123,11 +123,11 @@ class NeurosurgeonScheduler(Scheduler):
         network = use_case.network
         device = environment.device
         link = environment.wifi
-        rssi = observation.rssi_wlan_dbm
-        rate_ms_per_byte = (
-            link.transfer_ms(1.0, rssi)
+        rssi_dbm = observation.rssi_wlan_dbm
+        ms_per_byte = (
+            link.transfer_ms(1.0, rssi_dbm)
         )
-        rtt = link.effective_rtt_ms(rssi)
+        rtt = link.effective_rtt_ms(rssi_dbm)
 
         local_layer = self._local_models[name].predict_layers(network.layers)
         remote_layer = self._remote_models[name].predict_layers(
@@ -141,29 +141,30 @@ class NeurosurgeonScheduler(Scheduler):
         cpu = device.soc.cpu
         busy_mw = cpu.busy_power_at(-1)
         base_mw = device.soc.platform_idle_mw
-        tx_mw = link.tx_power_mw(rssi)
+        tx_mw = link.tx_power_mw(rssi_dbm)
 
-        best_point, best_energy, best_latency = None, None, None
+        best_point, best_energy_mj, best_latency_ms = None, None, None
         num_layers = len(network.layers)
         for point in range(num_layers + 1):
             wire = network.transfer_bytes_at(point)
-            tx_ms = wire * rate_ms_per_byte
+            tx_ms = wire * ms_per_byte
             remote_ms = remote_suffix[point]
             comm_ms = (tx_ms + rtt) if point < num_layers else 0.0
-            latency = local_prefix[point] + comm_ms + remote_ms
-            energy = (
+            latency_ms = local_prefix[point] + comm_ms + remote_ms
+            energy_mj = (
                 busy_mw * local_prefix[point]
                 + tx_mw * tx_ms
-                + base_mw * latency
+                + base_mw * latency_ms
             ) / 1000.0
             if point < num_layers:
-                energy += link.tail_energy_mj()
-            feasible = latency <= use_case.qos_ms
-            rank = (not feasible, energy)
-            if best_point is None or rank < (not (best_latency
+                energy_mj += link.tail_energy_mj()
+            feasible = latency_ms <= use_case.qos_ms
+            rank = (not feasible, energy_mj)
+            if best_point is None or rank < (not (best_latency_ms
                                                   <= use_case.qos_ms),
-                                             best_energy):
-                best_point, best_energy, best_latency = point, energy, latency
+                                             best_energy_mj):
+                best_point, best_energy_mj, best_latency_ms = \
+                    point, energy_mj, latency_ms
         return best_point
 
     def select(self, environment, use_case, observation):

@@ -14,6 +14,7 @@ which is why even Opt shows a nonzero QoS-violation ratio in Fig. 9.
 from __future__ import annotations
 
 from repro.baselines.base import Scheduler
+from repro.common import SimulationError
 
 __all__ = ["OptOracle"]
 
@@ -61,7 +62,7 @@ class OptOracle(Scheduler):
             if best_rank is None or rank < best_rank:
                 best, best_rank = target, rank
         if best is None:
-            raise RuntimeError(
+            raise SimulationError(
                 f"no accuracy-feasible target exists for {use_case.name}"
             )
         return best

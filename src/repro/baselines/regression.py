@@ -161,11 +161,11 @@ class RegressionScheduler(Scheduler):
         design = self._scaler.transform(rows)
         # Clip log-space predictions: linear extrapolation far outside
         # the training distribution must saturate, not overflow.
-        energy = np.exp(np.clip(self._energy_model.predict(design),
-                                -20.0, 20.0))
-        latency = np.exp(np.clip(self._latency_model.predict(design),
-                                 -20.0, 20.0))
-        return energy, latency
+        energy_mj = np.exp(np.clip(self._energy_model.predict(design),
+                                   -20.0, 20.0))
+        latency_ms = np.exp(np.clip(self._latency_model.predict(design),
+                                    -20.0, 20.0))
+        return energy_mj, latency_ms
 
     def select(self, environment, use_case, observation):
         targets = [
@@ -173,15 +173,15 @@ class RegressionScheduler(Scheduler):
             if use_case.meets_accuracy(environment.accuracy.lookup(
                 use_case.network.name, target.precision))
         ]
-        energy, latency = self.predict_energy_latency(
+        energy_mj, latency_ms = self.predict_energy_latency(
             use_case, observation, targets, environment
         )
-        feasible = latency <= use_case.qos_ms
+        feasible = latency_ms <= use_case.qos_ms
         if feasible.any():
             pool = np.flatnonzero(feasible)
         else:
             pool = np.arange(len(targets))
-        best = pool[np.argmin(energy[pool])]
+        best = pool[np.argmin(energy_mj[pool])]
         return targets[int(best)]
 
 

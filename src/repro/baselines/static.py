@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from repro.baselines.base import Scheduler
+from repro.common import SimulationError
 from repro.env.observation import Observation
 from repro.env.target import Location
 from repro.models.quantization import Precision
@@ -57,7 +58,7 @@ class EdgeCpuFp32(Scheduler):
         for target in _top_vf_targets(environment, Location.LOCAL):
             if target.role == "cpu" and target.precision is Precision.FP32:
                 return target
-        raise RuntimeError("environment has no local CPU FP32 target")
+        raise SimulationError("environment has no local CPU FP32 target")
 
 
 class EdgeBest(Scheduler):
@@ -95,7 +96,7 @@ class EdgeBest(Scheduler):
             if best_rank is None or rank < best_rank:
                 best, best_rank = target, rank
         if best is None:
-            raise RuntimeError(
+            raise SimulationError(
                 f"no accuracy-feasible local target for {use_case.name}"
             )
         return best
@@ -133,7 +134,7 @@ class _RemoteOffload(Scheduler):
             if best_rank is None or rank < best_rank:
                 best, best_rank = target, rank
         if best is None:
-            raise RuntimeError(
+            raise SimulationError(
                 f"no {self.location.value} target for {use_case.name}"
             )
         return best

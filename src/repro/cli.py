@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common import ConfigError
 from repro.core.convergence import episodes_to_converge
 
 __all__ = ["main", "build_parser"]
@@ -201,7 +202,7 @@ def main(argv=None, out=None):
         return _cmd_experiment(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    raise ConfigError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """Shared primitives used across the AutoScale reproduction.
 
-Unit conventions (documented in DESIGN.md):
+Unit conventions (documented in DESIGN.md and enforced by reprolint —
+see ``repro.analysis`` and ``docs/static_analysis.md``):
 
 - latency: milliseconds (ms)
 - energy: millijoules (mJ)
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
@@ -22,6 +24,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "SimulationError",
+    "UnknownKeyError",
     "Stopwatch",
     "make_rng",
     "mj_to_joules",
@@ -31,6 +34,9 @@ __all__ = [
     "ppw_from_energy",
     "clamp",
 ]
+
+#: Everything accepted as a seed by :func:`make_rng`.
+SeedLike = Union[None, int, np.random.Generator]
 
 
 class ReproError(Exception):
@@ -45,7 +51,21 @@ class SimulationError(ReproError):
     """Raised when a simulation request cannot be executed."""
 
 
-def make_rng(seed=None):
+class UnknownKeyError(ConfigError, KeyError):
+    """A lookup by name/key missed (unknown device, scenario, network...).
+
+    Subclasses both :class:`ConfigError` — so ``except ReproError`` still
+    catches every library failure — and :class:`KeyError`, preserving the
+    builtin contract for callers doing ``except KeyError`` around lookups.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument, which would wrap our
+        # messages in quotes; report them like every other ReproError.
+        return Exception.__str__(self)
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a ``numpy.random.Generator``.
 
     Accepts ``None`` (non-deterministic), an int seed, or an existing
@@ -58,27 +78,27 @@ def make_rng(seed=None):
     return np.random.default_rng(seed)
 
 
-def mj_to_joules(energy_mj):
+def mj_to_joules(energy_mj: float) -> float:
     """Convert millijoules to joules."""
     return energy_mj / 1000.0
 
 
-def ms_to_seconds(latency_ms):
+def ms_to_seconds(latency_ms: float) -> float:
     """Convert milliseconds to seconds."""
     return latency_ms / 1000.0
 
 
-def mbits_to_bytes(mbits):
+def mbits_to_bytes(mbits: float) -> float:
     """Convert megabits to bytes (1 Mbit = 125,000 bytes)."""
     return mbits * 125_000.0
 
 
-def bytes_to_mbits(num_bytes):
+def bytes_to_mbits(num_bytes: float) -> float:
     """Convert bytes to megabits."""
     return num_bytes / 125_000.0
 
 
-def ppw_from_energy(energy_mj):
+def ppw_from_energy(energy_mj: float) -> float:
     """Performance-per-watt proxy used throughout the paper's figures.
 
     For a single inference, throughput/power reduces to the reciprocal of
@@ -86,14 +106,14 @@ def ppw_from_energy(energy_mj):
     always normalize PPW to a named baseline so the absolute scale cancels.
     """
     if energy_mj <= 0:
-        raise ValueError(f"energy must be positive, got {energy_mj}")
+        raise ConfigError(f"energy must be positive, got {energy_mj}")
     return 1000.0 / energy_mj
 
 
-def clamp(value, low, high):
+def clamp(value: float, low: float, high: float) -> float:
     """Clamp ``value`` into the closed interval [low, high]."""
     if low > high:
-        raise ValueError(f"empty interval [{low}, {high}]")
+        raise ConfigError(f"empty interval [{low}, {high}]")
     return max(low, min(high, value))
 
 
@@ -108,13 +128,19 @@ class Stopwatch:
 
     now_ms: float = 0.0
 
-    def advance(self, delta_ms):
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.now_ms) or self.now_ms < 0:
+            raise ConfigError(
+                f"stopwatch cannot start at {self.now_ms} ms"
+            )
+
+    def advance(self, delta_ms: float) -> float:
         """Move the clock forward; negative deltas are rejected."""
         if delta_ms < 0 or not math.isfinite(delta_ms):
-            raise ValueError(f"cannot advance clock by {delta_ms} ms")
+            raise ConfigError(f"cannot advance clock by {delta_ms} ms")
         self.now_ms += delta_ms
         return self.now_ms
 
-    def reset(self):
+    def reset(self) -> None:
         """Rewind the clock to zero (used between experiment episodes)."""
         self.now_ms = 0.0

@@ -9,7 +9,7 @@ actions by integer column.
 
 from __future__ import annotations
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.env.target import enumerate_targets
 
 __all__ = ["ActionSpace"]
@@ -54,7 +54,7 @@ class ActionSpace:
         try:
             return self._index[target.key]
         except KeyError:
-            raise KeyError(f"{target.key} not in this action space") from None
+            raise UnknownKeyError(f"{target.key} not in this action space") from None
 
     def __contains__(self, target):
         return getattr(target, "key", None) in self._index

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import contracts_enabled, ensure_q_value
 from repro.common import ConfigError, make_rng
 
 __all__ = ["QLearningConfig", "QTable", "epsilon_greedy"]
@@ -124,11 +125,16 @@ class QTable:
 
         Q(S,A) <- Q(S,A) + gamma * [R + mu * max_a' Q(S',A') - Q(S,A)]
         """
+        if contracts_enabled():
+            ensure_q_value(reward, "reward")
         gamma = self.config.learning_rate
         mu = self.config.discount
         target = reward + mu * self.best_value(next_state)
         delta = gamma * (target - self.values[state, action])
         self.values[state, action] += delta
+        if contracts_enabled():
+            ensure_q_value(float(self.values[state, action]),
+                           f"Q[{state}, {action}]")
         self.visits[state, action] += 1
         self.update_count += 1
         return float(delta)

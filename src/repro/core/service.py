@@ -17,7 +17,7 @@ from __future__ import annotations
 import pathlib
 from typing import Optional
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.core.engine import AutoScale
 from repro.core.persistence import load_engine, save_engine
 from repro.evalharness.tracing import TraceRecorder
@@ -51,7 +51,7 @@ class AutoScaleService:
         try:
             return self._registered[name]
         except KeyError:
-            raise KeyError(
+            raise UnknownKeyError(
                 f"no registered service {name!r}; "
                 f"known: {sorted(self._registered)}"
             ) from None

@@ -17,7 +17,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 
 __all__ = ["StateFeature", "StateSpace", "table_i_state_space"]
 
@@ -104,7 +104,7 @@ class StateSpace:
         for feature in self.features:
             if feature.name == name:
                 return feature
-        raise KeyError(f"no feature named {name!r}")
+        raise UnknownKeyError(f"no feature named {name!r}")
 
     def discretize(self, raw_values):
         """Per-feature bin indices for an ordered raw-value sequence."""
@@ -171,7 +171,7 @@ class StateSpace:
         """
         remaining = [f for f in self.features if f.name != name]
         if len(remaining) == len(self.features):
-            raise KeyError(f"no feature named {name!r}")
+            raise UnknownKeyError(f"no feature named {name!r}")
         return StateSpace(remaining)
 
 

@@ -17,6 +17,7 @@ initialization.
 
 from __future__ import annotations
 
+from repro.common import ConfigError
 from repro.env.target import Location
 
 __all__ = ["map_actions", "transfer_q_table"]
@@ -81,12 +82,12 @@ def transfer_q_table(source_table, source_space, target_table,
     Returns the number of target actions that received transferred values.
     """
     if source_table.num_states != target_table.num_states:
-        raise ValueError(
+        raise ConfigError(
             "transfer requires identical state spaces "
             f"({source_table.num_states} != {target_table.num_states})"
         )
     if not 0.0 < blend <= 1.0:
-        raise ValueError(f"blend outside (0, 1]: {blend}")
+        raise ConfigError(f"blend outside (0, 1]: {blend}")
     mapping = map_actions(source_space, target_space)
     transferred = 0
     for column, source_index in enumerate(mapping):

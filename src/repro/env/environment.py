@@ -97,14 +97,14 @@ class EdgeCloudEnvironment:
 
     def observe(self):
         """Sample the runtime variance at the current virtual time."""
-        load, rssi_wlan, rssi_p2p = self.scenario.sample(
+        load, rssi_wlan_dbm, rssi_p2p_dbm = self.scenario.sample(
             self.rng, self.clock.now_ms
         )
         return Observation(
             cpu_util=load.cpu_util,
             mem_util=load.mem_util,
-            rssi_wlan_dbm=rssi_wlan,
-            rssi_p2p_dbm=rssi_p2p,
+            rssi_wlan_dbm=rssi_wlan_dbm,
+            rssi_p2p_dbm=rssi_p2p_dbm,
             now_ms=self.clock.now_ms,
         )
 

@@ -90,10 +90,10 @@ def _processor_energy(proc, busy_ms, vf_index):
 
 def _host_overheads_mj(device, latency_ms, role):
     """Platform base power plus the idle host CPU (when it isn't running)."""
-    energy = platform_energy_mj(device.soc.platform_idle_mw, latency_ms)
+    energy_mj = platform_energy_mj(device.soc.platform_idle_mw, latency_ms)
     if role != "cpu":
-        energy += device.soc.cpu.idle_power_mw * latency_ms / 1000.0
-    return energy
+        energy_mj += device.soc.cpu.idle_power_mw * latency_ms / 1000.0
+    return energy_mj
 
 
 def local_execution(device, network, target, load, interference,

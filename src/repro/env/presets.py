@@ -16,6 +16,7 @@ scheduler:
 
 from __future__ import annotations
 
+from repro.common import UnknownKeyError
 from repro.env.scenarios import Scenario
 from repro.interference.corunner import (
     ConstantCoRunner,
@@ -101,7 +102,7 @@ def build_preset(name):
     try:
         return PRESET_BUILDERS[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown preset {name!r}; choose from "
             f"{sorted(PRESET_BUILDERS)}"
         ) from None

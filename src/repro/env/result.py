@@ -5,6 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.analysis.contracts import (
+    ensure_energy_mj,
+    ensure_finite,
+    ensure_latency_ms,
+)
 from repro.common import ConfigError, ppw_from_energy
 
 __all__ = ["ExecutionResult"]
@@ -37,10 +42,15 @@ class ExecutionResult:
     detail: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.latency_ms <= 0:
-            raise ConfigError(f"non-positive latency {self.latency_ms}")
+        # Finiteness first: NaN slips through plain comparisons (``nan
+        # <= 0`` is False), and a NaN latency here would silently poison
+        # every downstream benchmark figure.
+        ensure_latency_ms(self.latency_ms, "latency_ms")
+        ensure_energy_mj(self.energy_mj, "energy_mj")
+        ensure_energy_mj(self.estimated_energy_mj, "estimated_energy_mj")
         if self.energy_mj <= 0 or self.estimated_energy_mj <= 0:
             raise ConfigError("non-positive energy")
+        ensure_finite(self.accuracy_pct, "accuracy_pct")
         if not 0.0 <= self.accuracy_pct <= 100.0:
             raise ConfigError(f"accuracy outside [0, 100]: "
                               f"{self.accuracy_pct}")

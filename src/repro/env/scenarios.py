@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.interference.corunner import (
     SwitchingCoRunner,
     cpu_intensive_corunner,
@@ -122,6 +122,6 @@ def build_scenario(name):
     try:
         return _BUILDERS[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown scenario {name!r}; choose from {SCENARIO_NAMES}"
         ) from None

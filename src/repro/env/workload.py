@@ -63,13 +63,13 @@ class SteadyWorkload:
 
 @dataclass(frozen=True)
 class PoissonWorkload:
-    """Memoryless arrivals at ``rate_per_s`` requests per second."""
+    """Memoryless arrivals at ``arrivals_per_s`` requests per second."""
 
     use_case: object
-    rate_per_s: float = 1.0
+    arrivals_per_s: float = 1.0
 
     def __post_init__(self):
-        if self.rate_per_s <= 0:
+        if self.arrivals_per_s <= 0:
             raise ConfigError("rate must be positive")
 
     def generate(self, duration_ms, rng=None):
@@ -77,7 +77,7 @@ class PoissonWorkload:
         requests = []
         now = 0.0
         while True:
-            now += rng.exponential(1000.0 / self.rate_per_s)
+            now += rng.exponential(1000.0 / self.arrivals_per_s)
             if now >= duration_ms:
                 break
             requests.append(InferenceRequest(now, self.use_case))

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.analysis.contracts import ensure_energy_mj, ensure_latency_ms
+from repro.common import ConfigError
 from repro.env.target import Location
 from repro.evalharness.reporting import format_table
 from repro.hardware.power import platform_energy_mj
@@ -29,6 +31,13 @@ class EnergyBreakdown:
     target_key: str
     latency_ms: float
     components_mj: Dict[str, float]
+
+    def __post_init__(self):
+        ensure_latency_ms(self.latency_ms, "latency_ms")
+        if not self.components_mj:
+            raise ConfigError("energy breakdown has no components")
+        for component, value_mj in self.components_mj.items():
+            ensure_energy_mj(value_mj, f"components_mj[{component!r}]")
 
     @property
     def total_mj(self):
@@ -52,39 +61,39 @@ def decompose_energy(environment, network, target, observation):
     """
     device = environment.device
     nominal = environment.estimate(network, target, observation)
-    latency = nominal.latency_ms
+    latency_ms = nominal.latency_ms
     components: Dict[str, float] = {
         "platform": platform_energy_mj(device.soc.platform_idle_mw,
-                                       latency),
+                                       latency_ms),
     }
     if target.location is Location.LOCAL:
         proc = device.soc.processor(target.role)
         if proc.kind is ProcessorKind.CPU:
             host_idle = 0.0
         else:
-            host_idle = device.soc.cpu.idle_power_mw * latency / 1000.0
+            host_idle = device.soc.cpu.idle_power_mw * latency_ms / 1000.0
         components["host_idle"] = host_idle
         components["compute"] = (nominal.energy_mj
                                  - components["platform"] - host_idle)
     else:
         link = (environment.wifi if target.location is Location.CLOUD
                 else environment.p2p)
-        rssi = (observation.rssi_wlan_dbm
-                if target.location is Location.CLOUD
-                else observation.rssi_p2p_dbm)
+        rssi_dbm = (observation.rssi_wlan_dbm
+                    if target.location is Location.CLOUD
+                    else observation.rssi_p2p_dbm)
         radio = transmission_energy_mj(
-            link, rssi, network.input_bytes, network.output_bytes,
-            latency,
+            link, rssi_dbm, network.input_bytes, network.output_bytes,
+            latency_ms,
         )
         components["tx"] = radio.tx_energy_mj
         components["rx"] = radio.rx_energy_mj
         components["radio_idle"] = radio.idle_energy_mj
         components["radio_tail"] = radio.tail_energy_mj
         components["host_idle"] = (device.soc.cpu.idle_power_mw
-                                   * latency / 1000.0)
+                                   * latency_ms / 1000.0)
     return EnergyBreakdown(
         target_key=target.key,
-        latency_ms=latency,
+        latency_ms=latency_ms,
         components_mj=components,
     )
 

@@ -21,7 +21,7 @@ from repro.baselines.regression import (
     svr_scheduler,
 )
 from repro.baselines.static import EdgeCpuFp32
-from repro.common import make_rng
+from repro.common import SimulationError, make_rng
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.qos import use_case_for
 from repro.env.target import ExecutionTarget, Location
@@ -63,7 +63,7 @@ def _edge_cpu_key(environment):
         if (target.location is Location.LOCAL and target.role == "cpu"
                 and target.precision is Precision.FP32):
             return target
-    raise RuntimeError("no local CPU FP32 target")
+    raise SimulationError("no local CPU FP32 target")
 
 
 def fig2_characterization(
@@ -338,10 +338,10 @@ def fig7_predictors(device_name="mi8pro",
                         target = targets[int(rng.integers(len(targets)))]
                         result = env.execute(use_case.network, target,
                                              observation)
-                        energy_pred, _ = scheduler.predict_energy_latency(
+                        energy_pred_mj, _ = scheduler.predict_energy_latency(
                             use_case, observation, [target], env
                         )
-                        predicted.append(float(energy_pred[0]))
+                        predicted.append(float(energy_pred_mj[0]))
                         measured.append(result.energy_mj)
             mapes[(scheduler.name, label)] = mape(predicted, measured)
 
@@ -373,7 +373,7 @@ def fig7_predictors(device_name="mi8pro",
     # --- end-to-end PPW + QoS violation ---------------------------------
     summary = []
     schedulers = [EdgeCpuFp32(), lr, svr, svm, knn, bo, OptOracle()]
-    baseline_energy = {}
+    baseline_energy_mj = {}
     for scheduler in schedulers:
         energies, violations, count = [], 0, 0
         for offset, scenario in enumerate(("S1", "S2", "S4", "S5",
@@ -388,9 +388,9 @@ def fig7_predictors(device_name="mi8pro",
                     stats.record(result)
                 key = (scenario, use_case.name)
                 if scheduler.name == "edge_cpu_fp32":
-                    baseline_energy[key] = stats.mean_energy_mj
+                    baseline_energy_mj[key] = stats.mean_energy_mj
                 energies.append(
-                    baseline_energy[key] / stats.mean_energy_mj
+                    baseline_energy_mj[key] / stats.mean_energy_mj
                 )
                 violations += sum(
                     1 for lat in stats.latencies_ms if lat > use_case.qos_ms

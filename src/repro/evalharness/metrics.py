@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -96,6 +97,17 @@ class EpisodeStats:
     decisions: Dict[str, int] = field(default_factory=dict)
     oracle_matches: int = 0
     oracle_checked: int = 0
+
+    def __post_init__(self):
+        if not math.isfinite(self.qos_ms) or self.qos_ms < 0:
+            raise ConfigError(f"invalid QoS target {self.qos_ms} ms")
+        for name, series in (("energies_mj", self.energies_mj),
+                             ("latencies_ms", self.latencies_ms)):
+            if any(not math.isfinite(value) or value <= 0
+                   for value in series):
+                raise ConfigError(
+                    f"{name} must contain finite positive values"
+                )
 
     def record(self, result, matched_oracle=None):
         self.energies_mj.append(result.energy_mj)

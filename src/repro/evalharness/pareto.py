@@ -17,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.analysis.contracts import ensure_energy_mj, ensure_latency_ms
 from repro.baselines.oracle import OptOracle
+from repro.common import ConfigError
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.observation import Observation
 from repro.env.qos import use_case_for
@@ -36,6 +38,14 @@ class ParetoPoint:
     latency_ms: float
     energy_mj: float
     accuracy_pct: float
+
+    def __post_init__(self):
+        ensure_latency_ms(self.latency_ms, "latency_ms")
+        ensure_energy_mj(self.energy_mj, "energy_mj")
+        if not 0.0 <= self.accuracy_pct <= 100.0:
+            raise ConfigError(
+                f"accuracy outside [0, 100]: {self.accuracy_pct}"
+            )
 
     def dominates(self, other):
         """Strictly better on one axis, at least as good on the other."""

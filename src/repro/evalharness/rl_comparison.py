@@ -86,13 +86,13 @@ def _train_and_evaluate(learner_name, make_learner, environment,
                 violations += int(result.latency_ms > use_case.qos_ms)
                 optimal = oracle.select(environment, use_case,
                                         observation, state_key=state)
-                optimal_energy = environment.estimate(
+                optimal_energy_mj = environment.estimate(
                     use_case.network, optimal, observation
                 ).energy_mj
-                chosen_energy = environment.estimate(
+                chosen_energy_mj = environment.estimate(
                     use_case.network, target, observation
                 ).energy_mj
-                matches += int(chosen_energy <= optimal_energy * 1.01)
+                matches += int(chosen_energy_mj <= optimal_energy_mj * 1.01)
         return energies, violations, matches
 
     decide_us = []
@@ -101,10 +101,10 @@ def _train_and_evaluate(learner_name, make_learner, environment,
     decide_us = []  # overhead measured on the trained model only
     energies, violations, matches, total = [], 0, 0, 0
     for use_case in use_cases:
-        case_energy, case_violations, case_matches = run_case(
+        case_energy_mj, case_violations, case_matches = run_case(
             use_case, eval_runs, learn=False
         )
-        energies.extend(case_energy)
+        energies.extend(case_energy_mj)
         violations += case_violations
         matches += case_matches
         total += eval_runs

@@ -35,19 +35,19 @@ def _quiet_env(device_name, seed=0):
 
 
 def signal_strength_sweep(network_name="resnet_50", device_name="mi8pro",
-                          rssi_grid=None, seed=0):
+                          rssi_grid_dbm=None, seed=0):
     """Fig. 6 at fine grain: the optimum as Wi-Fi RSSI degrades."""
-    if rssi_grid is None:
-        rssi_grid = np.arange(-55.0, -95.0, -2.5)
+    if rssi_grid_dbm is None:
+        rssi_grid_dbm = np.arange(-55.0, -95.0, -2.5)
     env = _quiet_env(device_name, seed)
     use_case = use_case_for(build_network(network_name))
     oracle = OptOracle(cache=False)
     rows = []
-    for rssi in rssi_grid:
-        observation = Observation(rssi_wlan_dbm=float(rssi))
+    for rssi_dbm in rssi_grid_dbm:
+        observation = Observation(rssi_wlan_dbm=float(rssi_dbm))
         target, nominal = oracle.evaluate(env, use_case, observation)
         rows.append({
-            "rssi_dbm": float(rssi),
+            "rssi_dbm": float(rssi_dbm),
             "optimal_target": target.key,
             "energy_mj": nominal.energy_mj,
             "latency_ms": nominal.latency_ms,

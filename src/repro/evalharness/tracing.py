@@ -16,6 +16,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    ensure_duration_ms,
+    ensure_energy_mj,
+    ensure_finite,
+    ensure_latency_ms,
+)
 from repro.common import ConfigError
 
 __all__ = ["TraceRecord", "TraceRecorder", "load_trace"]
@@ -36,6 +42,19 @@ class TraceRecord:
     qos_ms: float
     reward: Optional[float] = None
     explored: Optional[bool] = None
+
+    def __post_init__(self):
+        ensure_duration_ms(self.at_ms, "at_ms")
+        ensure_latency_ms(self.latency_ms, "latency_ms")
+        ensure_energy_mj(self.energy_mj, "energy_mj")
+        ensure_energy_mj(self.estimated_energy_mj, "estimated_energy_mj")
+        ensure_duration_ms(self.qos_ms, "qos_ms")
+        if not 0.0 <= self.accuracy_pct <= 100.0:
+            raise ConfigError(
+                f"accuracy outside [0, 100]: {self.accuracy_pct}"
+            )
+        if self.reward is not None:
+            ensure_finite(self.reward, "reward")
 
     @property
     def meets_qos(self):

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.hardware.dvfs import build_vf_table
 from repro.hardware.processor import Processor, ProcessorKind
 from repro.hardware.soc import MobileSoC
@@ -319,6 +319,6 @@ def build_device(name):
     try:
         return DEVICE_BUILDERS[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown device {name!r}; choose from {sorted(DEVICE_BUILDERS)}"
         ) from None

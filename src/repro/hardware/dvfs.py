@@ -53,10 +53,10 @@ def build_vf_table(num_steps, max_freq_mhz, min_freq_ratio=0.3,
         raise ConfigError("min voltage exceeds max voltage")
 
     steps = []
-    min_freq = max_freq_mhz * min_freq_ratio
+    min_freq_mhz = max_freq_mhz * min_freq_ratio
     for i in range(num_steps):
         fraction = 1.0 if num_steps == 1 else i / (num_steps - 1)
-        freq = min_freq + (max_freq_mhz - min_freq) * fraction
+        freq_mhz = min_freq_mhz + (max_freq_mhz - min_freq_mhz) * fraction
         voltage = min_voltage_v + (max_voltage_v - min_voltage_v) * fraction
-        steps.append(VFStep(freq_mhz=freq, voltage_v=voltage))
+        steps.append(VFStep(freq_mhz=freq_mhz, voltage_v=voltage))
     return tuple(steps)

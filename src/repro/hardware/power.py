@@ -11,6 +11,12 @@ public functions return millijoules.
 
 from __future__ import annotations
 
+from repro.analysis.contracts import (
+    checked,
+    ensure_duration_ms,
+    ensure_energy_mj,
+    ensure_power_mw,
+)
 from repro.common import ConfigError
 from repro.hardware.processor import ProcessorKind
 
@@ -27,6 +33,8 @@ def _energy_mj(power_mw, time_ms):
     return power_mw * time_ms / 1000.0
 
 
+@checked(busy_ms=ensure_duration_ms, idle_ms=ensure_duration_ms,
+         _returns=ensure_energy_mj)
 def busy_idle_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
     """Generic busy/idle split: P_busy(f) * t_busy + P_idle * t_idle.
 
@@ -36,13 +44,15 @@ def busy_idle_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
     """
     if busy_ms < 0 or idle_ms < 0:
         raise ConfigError("busy/idle times must be non-negative")
-    busy_power = processor.busy_power_at(vf_index)
+    busy_power_mw = processor.busy_power_at(vf_index)
     return (
-        _energy_mj(busy_power, busy_ms)
+        _energy_mj(busy_power_mw, busy_ms)
         + _energy_mj(processor.idle_power_mw, idle_ms)
     )
 
 
+@checked(busy_ms=ensure_duration_ms, idle_ms=ensure_duration_ms,
+         _returns=ensure_energy_mj)
 def cpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1,
                   active_cores=None):
     """Equation (1): utilization-based CPU energy.
@@ -61,17 +71,19 @@ def cpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1,
             f"active_cores {active_cores} outside [1, {processor.num_cores}]"
         )
     core_fraction = active_cores / processor.num_cores
-    busy_power = (
+    busy_power_mw = (
         processor.idle_power_mw
         + (processor.busy_power_at(vf_index) - processor.idle_power_mw)
         * core_fraction
     )
     return (
-        _energy_mj(busy_power, busy_ms)
+        _energy_mj(busy_power_mw, busy_ms)
         + _energy_mj(processor.idle_power_mw, idle_ms)
     )
 
 
+@checked(busy_ms=ensure_duration_ms, idle_ms=ensure_duration_ms,
+         _returns=ensure_energy_mj)
 def gpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
     """Equation (2): GPU energy from the busy/idle power split."""
     if processor.kind is not ProcessorKind.GPU:
@@ -79,6 +91,7 @@ def gpu_energy_mj(processor, busy_ms, idle_ms=0.0, vf_index=-1):
     return busy_idle_energy_mj(processor, busy_ms, idle_ms, vf_index)
 
 
+@checked(latency_ms=ensure_duration_ms, _returns=ensure_energy_mj)
 def dsp_energy_mj(processor, latency_ms):
     """Equation (3): E_DSP = P_DSP * R_latency.
 
@@ -95,6 +108,8 @@ def dsp_energy_mj(processor, latency_ms):
     return _energy_mj(processor.busy_power_mw, latency_ms)
 
 
+@checked(idle_power_mw=ensure_power_mw, duration_ms=ensure_duration_ms,
+         _returns=ensure_energy_mj)
 def platform_energy_mj(idle_power_mw, duration_ms):
     """Always-on platform power (rails, DRAM refresh, display pipeline).
 

@@ -184,8 +184,8 @@ class Processor:
                 f"{self.name} does not support {precision}"
             )
         step = self.vf_table[vf_index]
-        freq_scale = step.freq_mhz / self.max_freq_mhz
-        return self.peak_gmacs * freq_scale * self.precisions[precision]
+        vf_scale = step.freq_mhz / self.max_freq_mhz
+        return self.peak_gmacs * vf_scale * self.precisions[precision]
 
     def layer_latency_ms(self, layer, precision, vf_index=-1,
                          slowdown=1.0):
@@ -197,8 +197,8 @@ class Processor:
         if slowdown < 1.0:
             raise ConfigError(f"slowdown must be >= 1, got {slowdown}")
         efficiency = self.layer_efficiency.get(layer.kind, 0.5)
-        rate = self.throughput_gmacs(precision, vf_index) * efficiency
-        compute_ms = (layer.macs / 1e9) / rate * 1000.0
+        gmacs_per_s = self.throughput_gmacs(precision, vf_index) * efficiency
+        compute_ms = (layer.macs / 1e9) / gmacs_per_s * 1000.0
         return compute_ms * slowdown + self.dispatch_ms
 
     def network_latency_ms(self, network, precision, vf_index=-1,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.hardware.processor import Processor, ProcessorKind
 from repro.hardware.thermal import ThermalModel
 
@@ -65,7 +65,7 @@ class MobileSoC:
         try:
             return self.processors[role]
         except KeyError:
-            raise KeyError(
+            raise UnknownKeyError(
                 f"{self.name} has no {role!r} unit (has {self.roles})"
             ) from None
 

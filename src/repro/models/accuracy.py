@@ -19,7 +19,7 @@ the same 0-100 scale as the paper does.
 
 from __future__ import annotations
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.models.quantization import Precision
 
 __all__ = ["AccuracyTable", "DEFAULT_ACCURACY"]
@@ -84,7 +84,7 @@ class AccuracyTable:
         try:
             return self._table[(network_name, precision)]
         except KeyError:
-            raise KeyError(
+            raise UnknownKeyError(
                 f"no accuracy entry for {network_name!r} at {precision}"
             ) from None
 

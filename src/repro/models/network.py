@@ -124,7 +124,7 @@ class NeuralNetwork:
         everything locally".
         """
         if not 0 <= point <= len(self.layers):
-            raise ValueError(
+            raise ConfigError(
                 f"split point {point} outside [0, {len(self.layers)}]"
             )
         return self.layers[:point], self.layers[point:]

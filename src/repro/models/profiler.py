@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.analysis.contracts import ensure_duration_ms, ensure_energy_mj
 from repro.common import ConfigError
 from repro.models.layers import LayerType
 
@@ -28,6 +29,18 @@ class LayerProfile:
     latency_ms: float
     energy_mj: float
     cumulative_ms: float
+
+    def __post_init__(self):
+        if self.macs < 0:
+            raise ConfigError(f"negative MAC count {self.macs}")
+        ensure_duration_ms(self.latency_ms, "latency_ms")
+        ensure_energy_mj(self.energy_mj, "energy_mj")
+        ensure_duration_ms(self.cumulative_ms, "cumulative_ms")
+        if self.cumulative_ms + 1e-9 < self.latency_ms:
+            raise ConfigError(
+                f"cumulative time {self.cumulative_ms} ms below the "
+                f"layer's own {self.latency_ms} ms"
+            )
 
     @property
     def is_compute_intensive(self):
@@ -98,17 +111,17 @@ def profile_network(processor, network, precision, vf_index=-1,
         )
     power_mw = processor.busy_power_at(vf_index) + platform_idle_mw
     profiles: List[LayerProfile] = []
-    cumulative = 0.0
+    cumulative_ms = 0.0
     for layer in network.layers:
-        latency = processor.layer_latency_ms(layer, precision, vf_index)
-        cumulative += latency
+        latency_ms = processor.layer_latency_ms(layer, precision, vf_index)
+        cumulative_ms += latency_ms
         profiles.append(LayerProfile(
             name=layer.name,
             kind=layer.kind,
             macs=layer.macs,
-            latency_ms=latency,
-            energy_mj=power_mw * latency / 1000.0,
-            cumulative_ms=cumulative,
+            latency_ms=latency_ms,
+            energy_mj=power_mw * latency_ms / 1000.0,
+            cumulative_ms=cumulative_ms,
         ))
     return NetworkProfile(
         network_name=network.name,

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.common import UnknownKeyError
+
 __all__ = ["Precision"]
 
 
@@ -48,7 +50,7 @@ class Precision(enum.Enum):
         for precision in cls:
             if precision.label == label:
                 return precision
-        raise KeyError(f"unknown precision {label!r}")
+        raise UnknownKeyError(f"unknown precision {label!r}")
 
     def __str__(self):
         return self.label.upper()

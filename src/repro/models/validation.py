@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.common import ConfigError
 from repro.models.layers import LayerType
 from repro.models.network import NeuralNetwork
 
@@ -87,7 +88,7 @@ def assert_valid_network(network):
     """Raise ``ValueError`` with all issues when validation fails."""
     issues = validate_network(network)
     if issues:
-        raise ValueError(
+        raise ConfigError(
             f"{getattr(network, 'name', network)!r} failed validation:\n"
             + "\n".join(f"- {issue}" for issue in issues)
         )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.common import ConfigError
+from repro.common import ConfigError, UnknownKeyError
 from repro.models.layers import LayerType, make_layer
 from repro.models.network import NeuralNetwork, Task
 
@@ -228,7 +228,7 @@ def build_network(name):
     try:
         spec = _SPECS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown network {name!r}; choose from {NETWORK_NAMES}"
         ) from None
     if spec["rc"] > 0:

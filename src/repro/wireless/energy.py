@@ -13,6 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.contracts import (
+    checked,
+    ensure_duration_ms,
+    ensure_energy_mj,
+    ensure_latency_ms,
+    ensure_rssi_dbm,
+)
 from repro.common import ConfigError
 
 __all__ = ["TransmissionBreakdown", "transmission_energy_mj"]
@@ -30,6 +37,17 @@ class TransmissionBreakdown:
     idle_energy_mj: float
     tail_energy_mj: float
 
+    def __post_init__(self):
+        for name, value in (("tx_ms", self.tx_ms),
+                            ("rx_ms", self.rx_ms),
+                            ("wait_ms", self.wait_ms)):
+            ensure_duration_ms(value, name)
+        for name, value in (("tx_energy_mj", self.tx_energy_mj),
+                            ("rx_energy_mj", self.rx_energy_mj),
+                            ("idle_energy_mj", self.idle_energy_mj),
+                            ("tail_energy_mj", self.tail_energy_mj)):
+            ensure_energy_mj(value, name)
+
     @property
     def radio_energy_mj(self):
         """Total radio energy (the eq. 4 value plus the tail)."""
@@ -42,6 +60,7 @@ class TransmissionBreakdown:
         return self.tx_energy_mj + self.rx_energy_mj + self.idle_energy_mj
 
 
+@checked(rssi_dbm=ensure_rssi_dbm, total_latency_ms=ensure_latency_ms)
 def transmission_energy_mj(link, rssi_dbm, tx_bytes, rx_bytes,
                            total_latency_ms, include_tail=True):
     """Evaluate eq. (4) for one offloaded inference.

@@ -92,8 +92,8 @@ class WirelessLink:
 
     def data_rate_mbps(self, rssi_dbm):
         """Effective throughput at the given signal strength."""
-        rate = self.max_rate_mbps * (1.0 - self.weakness(rssi_dbm))
-        return max(rate, self.max_rate_mbps * 0.005)
+        rate_mbps = self.max_rate_mbps * (1.0 - self.weakness(rssi_dbm))
+        return max(rate_mbps, self.max_rate_mbps * 0.005)
 
     def tx_power_mw(self, rssi_dbm):
         """Transmit power: the radio works harder at weak signal."""

@@ -32,8 +32,8 @@ STRONG_RSSI_DBM = -55.0
 #: -80 dBm threshold).
 WEAK_RSSI_DBM_TYPICAL = -86.0
 
-_RSSI_FLOOR = -100.0
-_RSSI_CEIL = -30.0
+_RSSI_FLOOR_DBM = -100.0
+_RSSI_CEIL_DBM = -30.0
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,7 @@ class ConstantSignal:
     rssi_dbm: float = STRONG_RSSI_DBM
 
     def __post_init__(self):
-        if not _RSSI_FLOOR <= self.rssi_dbm <= _RSSI_CEIL:
+        if not _RSSI_FLOOR_DBM <= self.rssi_dbm <= _RSSI_CEIL_DBM:
             raise ConfigError(f"implausible RSSI {self.rssi_dbm} dBm")
 
     def sample(self, rng, now_ms=0.0):
@@ -61,12 +61,12 @@ class GaussianSignal:
     def __post_init__(self):
         if self.std_db < 0:
             raise ConfigError(f"negative std {self.std_db}")
-        if not _RSSI_FLOOR <= self.mean_dbm <= _RSSI_CEIL:
+        if not _RSSI_FLOOR_DBM <= self.mean_dbm <= _RSSI_CEIL_DBM:
             raise ConfigError(f"implausible mean RSSI {self.mean_dbm} dBm")
 
     def sample(self, rng, now_ms=0.0):
         value = rng.normal(self.mean_dbm, self.std_db)
-        return clamp(value, _RSSI_FLOOR, _RSSI_CEIL)
+        return clamp(value, _RSSI_FLOOR_DBM, _RSSI_CEIL_DBM)
 
 
 @dataclass
@@ -93,7 +93,7 @@ class RandomWalkSignal:
     def sample(self, rng, now_ms=0.0):
         noise = rng.normal(0.0, self.std_db * (2 * self.reversion) ** 0.5)
         self._state += self.reversion * (self.mean_dbm - self._state) + noise
-        self._state = clamp(self._state, _RSSI_FLOOR, _RSSI_CEIL)
+        self._state = clamp(self._state, _RSSI_FLOOR_DBM, _RSSI_CEIL_DBM)
         return self._state
 
     def reset(self):
@@ -125,7 +125,7 @@ class OutageSignal:
                 f"outage window {self.outage_ms} must sit inside the "
                 f"period {self.period_ms}"
             )
-        if not _RSSI_FLOOR <= self.outage_rssi_dbm <= _RSSI_CEIL:
+        if not _RSSI_FLOOR_DBM <= self.outage_rssi_dbm <= _RSSI_CEIL_DBM:
             raise ConfigError(
                 f"implausible outage RSSI {self.outage_rssi_dbm} dBm"
             )

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.common import ConfigError
 from repro.core.action import ActionSpace
 from repro.core.qlearning import QTable
 from repro.core.transfer import map_actions, transfer_q_table
@@ -86,13 +87,13 @@ class TestTransferQTable:
     def test_state_space_mismatch_rejected(self, mi8_space, moto_space):
         source = QTable(8, len(mi8_space), seed=1)
         target = QTable(16, len(moto_space), seed=2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             transfer_q_table(source, mi8_space, target, moto_space)
 
     def test_bad_blend_rejected(self, mi8_space, moto_space):
         source = QTable(4, len(mi8_space), seed=1)
         target = QTable(4, len(moto_space), seed=2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             transfer_q_table(source, mi8_space, target, moto_space,
                              blend=0.0)
 

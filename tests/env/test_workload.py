@@ -42,13 +42,13 @@ class TestSteadyWorkload:
 
 class TestPoissonWorkload:
     def test_rate_approximately_met(self, case):
-        requests = PoissonWorkload(case, rate_per_s=5.0).generate(
+        requests = PoissonWorkload(case, arrivals_per_s=5.0).generate(
             600_000.0, rng=make_rng(0))
         # 5/s over 600 s -> ~3000 requests.
         assert 2700 <= len(requests) <= 3300
 
     def test_sorted_times_within_horizon(self, case):
-        requests = PoissonWorkload(case, rate_per_s=2.0).generate(
+        requests = PoissonWorkload(case, arrivals_per_s=2.0).generate(
             10_000.0, rng=make_rng(1))
         times = [r.at_ms for r in requests]
         assert times == sorted(times)

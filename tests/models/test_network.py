@@ -53,7 +53,7 @@ class TestSplit:
         assert [l.name for l in tail] == ["fc_0"]
 
     def test_out_of_range_split_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             _tiny_network().split(4)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common import ConfigError
 from repro.models.layers import LayerType, make_layer
 from repro.models.network import NeuralNetwork, Task
 from repro.models.validation import assert_valid_network, validate_network
@@ -75,6 +76,6 @@ class TestDetectsProblems:
             make_layer(LayerType.POOL, "p0", macs=1e6,
                        output_bytes=900_000.0),
         ])
-        with pytest.raises(ValueError) as excinfo:
+        with pytest.raises(ConfigError) as excinfo:
             assert_valid_network(net)
         assert "failed validation" in str(excinfo.value)

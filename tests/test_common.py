@@ -68,7 +68,7 @@ class TestPpw:
         assert ppw_from_energy(50.0) > ppw_from_energy(100.0)
 
     def test_rejects_non_positive_energy(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             ppw_from_energy(0.0)
 
 
@@ -83,7 +83,7 @@ class TestClamp:
         assert clamp(7.0, 0.0, 1.0) == 1.0
 
     def test_empty_interval_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             clamp(0.5, 2.0, 1.0)
 
 
@@ -95,11 +95,11 @@ class TestStopwatch:
         assert clock.now_ms == pytest.approx(15.5)
 
     def test_negative_advance_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             Stopwatch().advance(-1.0)
 
     def test_nan_advance_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             Stopwatch().advance(math.nan)
 
     def test_reset(self):
