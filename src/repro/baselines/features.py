@@ -25,11 +25,14 @@ __all__ = [
     "PAIR_DIM",
     "encode_context",
     "encode_action",
+    "encode_actions",
     "encode_pair",
+    "encode_pairs",
     "vf_fraction_for",
     "Standardizer",
     "ProfilingDataset",
     "collect_dataset",
+    "collect_nominal_dataset",
 ]
 
 _LOCATIONS = (Location.LOCAL, Location.CLOUD, Location.CONNECTED)
@@ -142,6 +145,75 @@ def encode_pair(network, observation, target, environment=None):
     return np.concatenate([context, action, interactions])
 
 
+#: Per-(device, target-list) action-encoding matrices.  Action encodings
+#: depend only on the target and the device's V/F tables, so every
+#: observation of a sweep reuses the same rows; the key is cheap (string
+#: tuple) and the set of distinct target lists per process is tiny.
+_ACTION_MATRIX_CACHE = {}
+
+
+def encode_actions(targets, environment=None):
+    """Stacked :func:`encode_action` rows for a target list, memoized."""
+    device_name = (environment.device.name
+                   if environment is not None else None)
+    key = (device_name, tuple(target.key for target in targets))
+    cached = _ACTION_MATRIX_CACHE.get(key)
+    if cached is None:
+        cached = np.array([
+            encode_action(target, vf_fraction_for(target, environment))
+            for target in targets
+        ])
+        cached.flags.writeable = False
+        _ACTION_MATRIX_CACHE[key] = cached
+    return cached
+
+
+def encode_pairs(network, observation, targets, environment=None):
+    """Vectorized :func:`encode_pair` over many targets at once.
+
+    Returns the ``(len(targets), PAIR_DIM)`` matrix whose rows are
+    bitwise-identical to per-target ``encode_pair`` calls: the context
+    block is shared, the action block comes from the memoized
+    :func:`encode_actions` matrix, and every interaction term is a
+    scalar-times-column product — the same float operations as the
+    scalar encoder, just batched.
+    """
+    actions = encode_actions(targets, environment)
+    context = encode_context(network, observation)
+    log_macs = context[3]
+    weak_wlan = context[8]
+    weak_p2p = context[9]
+    is_local = actions[:, 0]
+    is_cloud = actions[:, 1]
+    is_connected = actions[:, 2]
+    roles_start = len(_LOCATIONS)
+    precisions_start = roles_start + len(_ROLES)
+    role_onehot = actions[:, roles_start:precisions_start]
+    precision_onehot = actions[:, precisions_start:
+                               precisions_start + len(_PRECISIONS)]
+    log_vf = actions[:, -1]
+    interactions = np.column_stack([
+        log_macs * is_local,
+        log_macs * is_cloud,
+        log_macs * is_connected,
+        log_macs * role_onehot[:, 0],
+        log_macs * role_onehot[:, 1],
+        log_macs * role_onehot[:, 2],
+        log_macs * role_onehot[:, 3],
+        log_macs * precision_onehot[:, 0],
+        log_macs * precision_onehot[:, 1],
+        log_macs * precision_onehot[:, 2],
+        log_macs * log_vf,
+        weak_wlan * is_cloud,
+        weak_p2p * is_connected,
+        observation.cpu_util * is_local,
+        observation.mem_util * is_local,
+        network.num_fc * role_onehot[:, 1],
+    ])
+    context_block = np.broadcast_to(context, (len(actions), CONTEXT_DIM))
+    return np.hstack([context_block, actions, interactions])
+
+
 class Standardizer:
     """Column-wise (x - mean) / std with constant-column protection."""
 
@@ -230,6 +302,55 @@ def collect_dataset(environment, use_cases, samples_per_case=40, rng=None):
         energy_mj=np.array(energies),
         latency_ms=np.array(latencies),
         contexts=np.array(contexts),
+        target_keys=keys,
+        use_case_names=names,
+    )
+
+
+#: Virtual think-time between profiled contexts (matches the serving
+#: loop's inter-arrival gap) so dynamic scenarios keep evolving while a
+#: nominal profiling campaign walks its contexts.
+_PROFILE_STEP_MS = 150.0
+
+
+def collect_nominal_dataset(environment, use_cases, contexts_per_case=8):
+    """Profile the *nominal* model densely: every target, per context.
+
+    Label generation for prediction baselines against the deterministic
+    nominal model (what the oracle searches): one ``estimate_all`` sweep
+    per sampled context covers the whole action space, so a campaign of
+    ``contexts_per_case`` contexts yields ``contexts * len(targets())``
+    exactly-labeled rows at the cost of a handful of vectorized sweeps —
+    no per-target scalar ``estimate`` loop.
+    """
+    if contexts_per_case < 1:
+        raise ConfigError("contexts_per_case must be >= 1")
+    targets = environment.targets()
+    feature_blocks, context_rows = [], []
+    energies, latencies, keys, names = [], [], [], []
+    target_keys = [target.key for target in targets]
+    for use_case in use_cases:
+        for _ in range(contexts_per_case):
+            observation = environment.observe()
+            sweep = environment.estimate_all(use_case.network, observation)
+            feature_blocks.append(
+                encode_pairs(use_case.network, observation, targets,
+                             environment)
+            )
+            context = encode_context(use_case.network, observation)
+            context_rows.append(
+                np.broadcast_to(context, (len(targets), CONTEXT_DIM))
+            )
+            energies.append(sweep.energy_mj)
+            latencies.append(sweep.latency_ms)
+            keys.extend(target_keys)
+            names.extend([use_case.name] * len(targets))
+            environment.clock.advance(_PROFILE_STEP_MS)
+    return ProfilingDataset(
+        features=np.vstack(feature_blocks),
+        energy_mj=np.concatenate(energies),
+        latency_ms=np.concatenate(latencies),
+        contexts=np.vstack(context_rows),
         target_keys=keys,
         use_case_names=names,
     )

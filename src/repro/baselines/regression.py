@@ -24,7 +24,7 @@ from repro.baselines.base import Scheduler
 from repro.baselines.features import (
     Standardizer,
     collect_dataset,
-    encode_pair,
+    encode_pairs,
 )
 from repro.common import ConfigError, make_rng
 
@@ -154,10 +154,8 @@ class RegressionScheduler(Scheduler):
         """(energy mJ, latency ms) predictions for candidate targets."""
         if self._energy_model is None:
             raise ConfigError(f"{self.name} not trained")
-        rows = np.array([
-            encode_pair(use_case.network, observation, target, environment)
-            for target in targets
-        ])
+        rows = encode_pairs(use_case.network, observation, targets,
+                            environment)
         design = self._scaler.transform(rows)
         # Clip log-space predictions: linear extrapolation far outside
         # the training distribution must saturate, not overflow.

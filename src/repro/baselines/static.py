@@ -49,6 +49,35 @@ def _quiescent_observation(observation):
     )
 
 
+def _nominal_best(environment, use_case, observation, candidates):
+    """Feasibility-first min-energy candidate under the nominal model.
+
+    Uses one ``estimate_all`` sweep when the environment provides it
+    (candidates index into the sweep, no scalar ``estimate`` loop);
+    otherwise falls back to per-candidate scalar estimates.  Returns
+    ``None`` when no candidate is accuracy-feasible.
+    """
+    estimate_all = getattr(environment, "estimate_all", None)
+    if estimate_all is not None:
+        sweep = estimate_all(use_case.network, observation)
+        index = sweep.argbest(
+            use_case,
+            indices=[sweep.index_of(target) for target in candidates],
+        )
+        return None if index is None else sweep.targets[index]
+    best, best_rank = None, None
+    for target in candidates:
+        result = environment.estimate(use_case.network, target, observation)
+        if not use_case.meets_accuracy(result.accuracy_pct):
+            continue
+        # Feasible options sort before infeasible; energy breaks ties.
+        rank = (not use_case.meets_qos(result.latency_ms),
+                result.energy_mj)
+        if best_rank is None or rank < best_rank:
+            best, best_rank = target, rank
+    return best
+
+
 class EdgeCpuFp32(Scheduler):
     """Always the local CPU, FP32, full clock."""
 
@@ -85,16 +114,8 @@ class EdgeBest(Scheduler):
 
     def _profile(self, environment, use_case, observation):
         quiet = _quiescent_observation(observation)
-        best, best_rank = None, None
-        for target in _top_vf_targets(environment, Location.LOCAL):
-            result = environment.estimate(use_case.network, target, quiet)
-            if not use_case.meets_accuracy(result.accuracy_pct):
-                continue
-            # Feasible options sort before infeasible; energy breaks ties.
-            rank = (not use_case.meets_qos(result.latency_ms),
-                    result.energy_mj)
-            if best_rank is None or rank < best_rank:
-                best, best_rank = target, rank
+        best = _nominal_best(environment, use_case, quiet,
+                             _top_vf_targets(environment, Location.LOCAL))
         if best is None:
             raise SimulationError(
                 f"no accuracy-feasible local target for {use_case.name}"
@@ -119,20 +140,9 @@ class _RemoteOffload(Scheduler):
 
     def _profile(self, environment, use_case, observation):
         quiet = _quiescent_observation(observation)
-        best, best_rank = None, None
-        for target in environment.targets():
-            if target.location is not self.location:
-                continue
-            if not use_case.meets_accuracy(
-                environment.accuracy.lookup(use_case.network.name,
-                                            target.precision)
-            ):
-                continue
-            result = environment.estimate(use_case.network, target, quiet)
-            rank = (not use_case.meets_qos(result.latency_ms),
-                    result.energy_mj)
-            if best_rank is None or rank < best_rank:
-                best, best_rank = target, rank
+        candidates = [target for target in environment.targets()
+                      if target.location is self.location]
+        best = _nominal_best(environment, use_case, quiet, candidates)
         if best is None:
             raise SimulationError(
                 f"no {self.location.value} target for {use_case.name}"

@@ -1,5 +1,6 @@
 """Execution-environment simulation: targets, QoS, scenarios, executor."""
 
+from repro.env.costcache import CacheStats, NominalCostEngine, NominalSweep
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.executor import (
     NoiseConfig,
@@ -37,6 +38,9 @@ from repro.env.workload import (
 )
 
 __all__ = [
+    "CacheStats",
+    "NominalCostEngine",
+    "NominalSweep",
     "EdgeCloudEnvironment",
     "PRESET_BUILDERS",
     "build_preset",

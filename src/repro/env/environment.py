@@ -11,7 +11,11 @@ against:
   return the measured :class:`ExecutionResult`;
 - ``estimate(network, target, observation)`` — the deterministic nominal
   model (no noise, no clock), which the prediction-based baselines fit and
-  the oracle searches.
+  the oracle searches;
+- ``estimate_all(network, observation)`` — the same nominal model for the
+  *whole* action space in one vectorized pass (a
+  :class:`~repro.env.costcache.NominalSweep`), which is what every
+  exhaustive-search consumer should use.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common import ConfigError, Stopwatch, make_rng
+from repro.env.costcache import NominalCostEngine
 from repro.env.executor import (
     NoiseConfig,
     local_execution,
@@ -75,8 +80,7 @@ class EdgeCloudEnvironment:
                 "the paper's scale-out experiments can run; pass "
                 "cloud=False/connected=False only individually"
             )
-        self.scenario = (build_scenario(scenario)
-                         if isinstance(scenario, str) else scenario)
+        self.scenario = scenario  # property setter normalizes id strings
         self.wifi = wifi if wifi is not None else default_wifi()
         self.p2p = p2p if p2p is not None else default_wifi_direct()
         self.interference = interference if interference is not None else \
@@ -86,6 +90,23 @@ class EdgeCloudEnvironment:
         self.rng = make_rng(seed)
         self.clock = Stopwatch()
         self._targets = enumerate_targets(device, self.cloud, self.connected)
+        self._cost_engine = NominalCostEngine(self)
+
+    # ------------------------------------------------------------------
+    # Scenario (swapping one invalidates the nominal-cost cache)
+    # ------------------------------------------------------------------
+
+    @property
+    def scenario(self):
+        return self._scenario
+
+    @scenario.setter
+    def scenario(self, scenario):
+        self._scenario = (build_scenario(scenario)
+                          if isinstance(scenario, str) else scenario)
+        engine = getattr(self, "_cost_engine", None)
+        if engine is not None:  # not yet built during __init__
+            engine.invalidate()
 
     # ------------------------------------------------------------------
     # Action space and observations
@@ -109,10 +130,16 @@ class EdgeCloudEnvironment:
         )
 
     def reset(self, seed=None):
-        """Rewind the virtual clock (and optionally reseed)."""
+        """Rewind the virtual clock (and optionally reseed).
+
+        Reseeding starts a fresh episode, so the memoized nominal sweeps
+        are dropped too — a replayed episode must recompute from scratch
+        rather than observe another episode's cache population.
+        """
         self.clock.reset()
         if seed is not None:
             self.rng = make_rng(seed)
+            self._cost_engine.invalidate()
 
     # ------------------------------------------------------------------
     # Execution
@@ -153,6 +180,24 @@ class EdgeCloudEnvironment:
     def estimate(self, network, target, observation):
         """Deterministic nominal model: no noise, no clock advance."""
         return self._run(network, target, observation, rng=None)
+
+    def estimate_all(self, network, observation, use_cache=True):
+        """Nominal model for **every** target in one vectorized pass.
+
+        Returns a :class:`~repro.env.costcache.NominalSweep` whose arrays
+        are index-aligned with ``targets()`` and agree with per-target
+        :meth:`estimate` calls to float64 round-off.  Sweeps are memoized
+        on ``(network.name, discretized load, discretized RSSI)``; pass
+        ``use_cache=False`` to force an exact evaluation at this
+        observation.
+        """
+        return self._cost_engine.sweep(network, observation,
+                                       use_cache=use_cache)
+
+    @property
+    def cost_engine(self):
+        """The batched nominal-cost engine (cache stats, invalidation)."""
+        return self._cost_engine
 
     def _run(self, network, target, observation, rng):
         load = self._load_from(observation)

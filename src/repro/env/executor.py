@@ -160,7 +160,7 @@ def remote_execution(device, remote, network, target, link, rssi_dbm,
 
     radio = transmission_energy_mj(
         link, rssi_dbm, network.input_bytes, network.output_bytes,
-        latency_ms,
+        latency_ms, tx_ms=tx_ms, rx_ms=rx_ms,
     )
     overhead_mj = platform_energy_mj(
         device.soc.platform_idle_mw, latency_ms
@@ -203,10 +203,12 @@ def partitioned_execution(device, remote, network, split_point,
                                interference, accuracy_table, rng, noise)
     if not head:
         return remote_execution(device, remote, network, remote_target,
-                                link, rssi_dbm, accuracy_table, rng, noise)
+                                link, rssi_dbm, accuracy_table, rng, noise,
+                                load=load, interference=interference)
 
     proc = device.soc.processor(local_target.role)
     slowdown = interference.slowdown(proc.kind, load)
+    tx_slow = interference.transmission_slowdown(load)
     local_ms = (
         proc.layers_latency_ms(head, local_target.precision,
                                local_target.vf_index, slowdown)
@@ -219,9 +221,9 @@ def partitioned_execution(device, remote, network, split_point,
     )
     wire_bytes = (network.transfer_bytes_at(split_point)
                   * local_target.precision.size_ratio)
-    tx_ms = (link.transfer_ms(wire_bytes, rssi_dbm)
+    tx_ms = (link.transfer_ms(wire_bytes, rssi_dbm) * tx_slow
              * _jitter(rng, noise.network_sigma))
-    rx_ms = (link.transfer_ms(network.output_bytes, rssi_dbm)
+    rx_ms = (link.transfer_ms(network.output_bytes, rssi_dbm) * tx_slow
              * _jitter(rng, noise.network_sigma))
     rtt_ms = (link.effective_rtt_ms(rssi_dbm)
               * _jitter(rng, noise.network_sigma))
@@ -230,7 +232,7 @@ def partitioned_execution(device, remote, network, split_point,
     busy_mj = _processor_energy(proc, local_ms, local_target.vf_index)
     radio = transmission_energy_mj(
         link, rssi_dbm, wire_bytes, network.output_bytes,
-        latency_ms - local_ms,
+        latency_ms - local_ms, tx_ms=tx_ms, rx_ms=rx_ms,
     )
     overhead_mj = _host_overheads_mj(device, latency_ms, local_target.role)
     estimate_mj = busy_mj + radio.radio_energy_mj + overhead_mj

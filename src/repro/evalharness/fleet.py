@@ -63,10 +63,9 @@ def _decision_quality(engine, use_cases, eval_runs=8):
             observation = env.observe()
             chosen = engine.predict(use_case.network, observation)
             optimal = oracle.select(env, use_case, observation)
-            chosen_e = env.estimate(use_case.network, chosen,
-                                    observation).energy_mj
-            optimal_e = env.estimate(use_case.network, optimal,
-                                     observation).energy_mj
+            sweep = env.estimate_all(use_case.network, observation)
+            chosen_e = float(sweep.energy_mj[sweep.index_of(chosen)])
+            optimal_e = float(sweep.energy_mj[sweep.index_of(optimal)])
             matches += int(decision_match(chosen_e, optimal_e))
             gaps.append(chosen_e / optimal_e - 1.0)
             checked += 1

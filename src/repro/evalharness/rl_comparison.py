@@ -86,12 +86,14 @@ def _train_and_evaluate(learner_name, make_learner, environment,
                 violations += int(result.latency_ms > use_case.qos_ms)
                 optimal = oracle.select(environment, use_case,
                                         observation, state_key=state)
-                optimal_energy_mj = environment.estimate(
-                    use_case.network, optimal, observation
-                ).energy_mj
-                chosen_energy_mj = environment.estimate(
-                    use_case.network, target, observation
-                ).energy_mj
+                sweep = environment.estimate_all(use_case.network,
+                                                 observation)
+                optimal_energy_mj = float(
+                    sweep.energy_mj[sweep.index_of(optimal)]
+                )
+                chosen_energy_mj = float(
+                    sweep.energy_mj[sweep.index_of(target)]
+                )
                 matches += int(chosen_energy_mj <= optimal_energy_mj * 1.01)
         return energies, violations, matches
 

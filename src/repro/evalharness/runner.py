@@ -122,12 +122,11 @@ def evaluate_autoscale(engine, use_case, eval_runs=30, oracle=None,
                 state_key=engine.observe_state(use_case.network,
                                                observation),
             )
-            chosen_nominal = env.estimate(use_case.network, chosen,
-                                          observation)
-            optimal_nominal = env.estimate(use_case.network, optimal,
-                                           observation)
-            matched = decision_match(chosen_nominal.energy_mj,
-                                     optimal_nominal.energy_mj)
+            sweep = env.estimate_all(use_case.network, observation)
+            matched = decision_match(
+                float(sweep.energy_mj[sweep.index_of(chosen)]),
+                float(sweep.energy_mj[sweep.index_of(optimal)]),
+            )
         step = engine.step(use_case, observation)
         stats.record(step.result, matched)
     engine.unfreeze()

@@ -173,19 +173,17 @@ def radio_comparison(network_name="inception_v1", device_name="mi8pro",
     for label, link in (("wifi", default_wifi()), ("lte", default_lte())):
         env = EdgeCloudEnvironment(build_device(device_name),
                                    scenario="S1", wifi=link, seed=seed)
-        nominal = env.estimate(use_case.network, cloud, observation)
-        best_local = min(
-            (env.estimate(use_case.network, target, observation)
-             for target in env.targets()
-             if target.location is Location.LOCAL),
-            key=lambda r: r.energy_mj,
-        )
+        sweep = env.estimate_all(use_case.network, observation)
+        cloud_index = sweep.index_of(cloud)
+        local_indices = [index for index, target in enumerate(env.targets())
+                         if target.location is Location.LOCAL]
+        best_local_mj = float(np.min(sweep.energy_mj[local_indices]))
         rows.append({
             "radio": label,
-            "cloud_latency_ms": nominal.latency_ms,
-            "cloud_energy_mj": nominal.energy_mj,
-            "best_local_energy_mj": best_local.energy_mj,
-            "cloud_wins": nominal.energy_mj < best_local.energy_mj,
+            "cloud_latency_ms": float(sweep.latency_ms[cloud_index]),
+            "cloud_energy_mj": float(sweep.energy_mj[cloud_index]),
+            "best_local_energy_mj": best_local_mj,
+            "cloud_wins": float(sweep.energy_mj[cloud_index]) < best_local_mj,
         })
     table = format_table(
         ["radio", "cloud lat (ms)", "cloud E (mJ)", "best local E (mJ)",

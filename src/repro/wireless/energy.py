@@ -62,7 +62,8 @@ class TransmissionBreakdown:
 
 @checked(rssi_dbm=ensure_rssi_dbm, total_latency_ms=ensure_latency_ms)
 def transmission_energy_mj(link, rssi_dbm, tx_bytes, rx_bytes,
-                           total_latency_ms, include_tail=True):
+                           total_latency_ms, include_tail=True,
+                           tx_ms=None, rx_ms=None):
     """Evaluate eq. (4) for one offloaded inference.
 
     Args:
@@ -74,11 +75,21 @@ def transmission_energy_mj(link, rssi_dbm, tx_bytes, rx_bytes,
             spent transmitting or receiving.
         include_tail: charge the radio tail state (the default; disable to
             get the textbook eq. 4 value).
+        tx_ms / rx_ms: *effective* transfer times, when the caller slowed
+            or jittered the clean ``link.transfer_ms`` values.  Without
+            them, a slowed transmission would be billed at radio idle
+            power instead of TX/RX power for the slowdown portion.
 
     Returns a :class:`TransmissionBreakdown`.
     """
-    tx_ms = link.transfer_ms(tx_bytes, rssi_dbm)
-    rx_ms = link.transfer_ms(rx_bytes, rssi_dbm)
+    if tx_ms is None:
+        tx_ms = link.transfer_ms(tx_bytes, rssi_dbm)
+    if rx_ms is None:
+        rx_ms = link.transfer_ms(rx_bytes, rssi_dbm)
+    if tx_ms < 0 or rx_ms < 0:
+        raise ConfigError(
+            f"negative effective transfer time (tx {tx_ms}, rx {rx_ms})"
+        )
     wait_ms = total_latency_ms - tx_ms - rx_ms
     if wait_ms < -1e-9:
         raise ConfigError(

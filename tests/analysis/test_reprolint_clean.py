@@ -37,3 +37,12 @@ def test_allowlist_is_small_and_justified():
     entries = load_allowlist().entries
     assert len(entries) <= 15
     assert all(rule == "RL001" for rule, _ in entries)
+
+
+def test_costcache_enters_with_zero_allowlist_entries():
+    """New modules are born clean: the batched nominal-cost engine must
+    pass every rule with the allowlist disabled — no grandfathering."""
+    report = lint_paths([SRC / "env" / "costcache.py"], allowlist=False)
+    assert report.files_checked == 1
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed

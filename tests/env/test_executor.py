@@ -175,14 +175,15 @@ class TestRemoteExecution:
 
 
 class TestPartitionedExecution:
-    def _run(self, zoo, point, net="inception_v1"):
+    def _run(self, zoo, point, net="inception_v1", load=None):
         device = build_device("mi8pro")
         local = ExecutionTarget(Location.LOCAL, "cpu", Precision.FP32,
                                 device.soc.cpu.num_vf_steps - 1)
         remote = ExecutionTarget(Location.CLOUD, "gpu", Precision.FP32)
         return partitioned_execution(
             device, cloud_server(), zoo[net], point, local, remote,
-            default_wifi(), -55.0, CoRunnerLoad(),
+            default_wifi(), -55.0,
+            load if load is not None else CoRunnerLoad(),
             InterferenceModel(thermal=device.soc.thermal),
             DEFAULT_ACCURACY,
         )
@@ -195,6 +196,44 @@ class TestPartitionedExecution:
     def test_split_at_zero_equals_remote(self, zoo):
         result = self._run(zoo, 0)
         assert result.target_key == "cloud/gpu/fp32"
+
+    def test_corunner_slows_split_radio_path(self, zoo):
+        """Regression: the split path must pay transmission_slowdown.
+
+        The NeuroSurgeon radio path used to ignore co-runner contention
+        entirely, making splits spuriously cheap under S2/S3."""
+        net = zoo["inception_v1"]
+        point = len(net.layers) // 2
+        quiet = self._run(zoo, point)
+        busy = self._run(zoo, point, load=CoRunnerLoad(cpu_util=0.9,
+                                                       mem_util=0.3))
+        assert busy.detail["tx_ms"] > quiet.detail["tx_ms"]
+        assert busy.latency_ms > quiet.latency_ms
+
+    def test_split_at_zero_matches_remote_under_load(self, zoo):
+        """Regression: the degenerate split@0 must forward load and
+        interference — it used to be cheaper than the identical
+        whole-model offload under a co-runner."""
+        device = build_device("mi8pro")
+        load = CoRunnerLoad(cpu_util=0.8, mem_util=0.4)
+        interference = InterferenceModel(thermal=device.soc.thermal)
+        remote_target = ExecutionTarget(Location.CLOUD, "gpu",
+                                        Precision.FP32)
+        local = ExecutionTarget(Location.LOCAL, "cpu", Precision.FP32,
+                                device.soc.cpu.num_vf_steps - 1)
+        split = partitioned_execution(
+            device, cloud_server(), zoo["inception_v1"], 0, local,
+            remote_target, default_wifi(), -55.0, load, interference,
+            DEFAULT_ACCURACY,
+        )
+        whole = remote_execution(
+            device, cloud_server(), zoo["inception_v1"], remote_target,
+            default_wifi(), -55.0, DEFAULT_ACCURACY,
+            load=load, interference=interference,
+        )
+        assert split.latency_ms == whole.latency_ms
+        assert split.energy_mj == whole.energy_mj
+        assert split.estimated_energy_mj == whole.estimated_energy_mj
 
     def test_mid_split_combines_both(self, zoo):
         net = zoo["inception_v1"]

@@ -61,3 +61,43 @@ class TestEq4:
         with pytest.raises(ConfigError):
             transmission_energy_mj(link, -86.0, 10_000_000, 0,
                                    total_latency_ms=1.0)
+
+
+class TestEffectiveTimeOverrides:
+    """Regression: a slowed transmission must be billed at TX/RX power.
+
+    Callers that stretch ``transfer_ms`` (contention, jitter) pass the
+    effective times; without them the stretched portion was silently
+    charged at radio *idle* power."""
+
+    def test_overrides_replace_clean_transfer_times(self):
+        link = default_wifi()
+        clean = transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                       total_latency_ms=50.0)
+        slowed = transmission_energy_mj(
+            link, -55.0, 64_000, 4_000, total_latency_ms=50.0,
+            tx_ms=clean.tx_ms * 1.5, rx_ms=clean.rx_ms * 1.5,
+        )
+        assert slowed.tx_ms == pytest.approx(clean.tx_ms * 1.5)
+        assert slowed.rx_ms == pytest.approx(clean.rx_ms * 1.5)
+        assert (slowed.tx_ms + slowed.rx_ms + slowed.wait_ms
+                == pytest.approx(50.0))
+
+    def test_slowed_transfer_billed_at_tx_power(self):
+        """Same total latency, longer effective TX -> more radio energy
+        (the extra milliseconds move from idle power to TX power)."""
+        link = default_wifi()
+        clean = transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                       total_latency_ms=50.0)
+        slowed = transmission_energy_mj(
+            link, -55.0, 64_000, 4_000, total_latency_ms=50.0,
+            tx_ms=clean.tx_ms * 1.5, rx_ms=clean.rx_ms * 1.5,
+        )
+        assert slowed.radio_energy_mj > clean.radio_energy_mj
+        assert slowed.idle_energy_mj < clean.idle_energy_mj
+
+    def test_negative_override_rejected(self):
+        link = default_wifi()
+        with pytest.raises(ConfigError):
+            transmission_energy_mj(link, -55.0, 64_000, 4_000,
+                                   total_latency_ms=50.0, tx_ms=-1.0)
