@@ -28,6 +28,8 @@ Sub-packages:
 - ``repro.wireless`` — RSSI-dependent links and eq. (4) energy;
 - ``repro.interference`` — co-runners and the contention model;
 - ``repro.env`` — the edge-cloud execution simulator and Table IV;
+- ``repro.faults`` — request-level fault injection and the resilient
+  serving vocabulary (see docs/robustness.md);
 - ``repro.baselines`` — Edge/Cloud/Connected/Opt, LR/SVR/SVM/KNN/BO,
   MOSAIC, NeuroSurgeon;
 - ``repro.evalharness`` — metrics and one driver per paper figure.
@@ -53,6 +55,12 @@ from repro.env import (
     build_scenario,
     use_case_for,
     use_cases_for_zoo,
+)
+from repro.faults import (
+    FailedAttempt,
+    FaultPlan,
+    OutageWindow,
+    ResiliencePolicy,
 )
 from repro.hardware import Device, build_device
 from repro.models import (
@@ -83,6 +91,10 @@ __all__ = [
     "build_scenario",
     "use_case_for",
     "use_cases_for_zoo",
+    "FailedAttempt",
+    "FaultPlan",
+    "OutageWindow",
+    "ResiliencePolicy",
     "Device",
     "build_device",
     "NeuralNetwork",

@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.common import ConfigError, make_rng
 from repro.core.action import ActionSpace
 from repro.core.convergence import ConvergenceDetector
@@ -112,21 +114,35 @@ class AutoScale:
         """Step 1: encode (NN characteristics, runtime variance)."""
         return self.state_space.encode(network, observation)
 
-    def select_action(self, state, explore=None):
+    def select_action(self, state, explore=None, allowed=None):
         """Step 2: epsilon-greedy over the Q-table.
+
+        ``allowed`` — an optional boolean mask over the action space
+        (the resilient service passes one derived from its circuit
+        breakers) — restricts every branch to the True entries, so a
+        broken remote target is not even exploration-eligible.  A mask
+        with no True entry is treated as no mask.
 
         Returns ``(action_index, explored)``.
         """
         if explore is None:
             explore = self.training
+        if allowed is not None and not np.any(allowed):
+            allowed = None
         started = time.perf_counter()
         if explore and self.rng.random() < self.config.epsilon:
-            action = int(self.rng.integers(len(self.action_space)))
+            if allowed is None:
+                action = int(self.rng.integers(len(self.action_space)))
+            else:
+                candidates = np.flatnonzero(allowed)
+                action = int(candidates[
+                    self.rng.integers(len(candidates))
+                ])
             explored = True
         elif explore:
             # Training-time exploitation: plain argmax, so untried
             # actions' optimistic init values drive directed exploration.
-            action = self.qtable.best_action(state)
+            action = self.qtable.best_action(state, allowed)
             explored = False
         else:
             # Trained-table usage: only actions with at least one real
@@ -135,9 +151,9 @@ class AutoScale:
             # visited during training fall back to the nearest trained
             # sibling state of the same network (see _sibling_fallback).
             if self.qtable.visits[state].any():
-                action = self.qtable.best_visited_action(state)
+                action = self.qtable.best_visited_action(state, allowed)
             else:
-                action = self._sibling_fallback(state)
+                action = self._sibling_fallback(state, allowed)
             explored = False
         self.overhead.select_us.append(
             (time.perf_counter() - started) * 1e6
@@ -165,7 +181,7 @@ class AutoScale:
                 return 0  # NN feature after a variance feature
         return size if seen_variance else 0
 
-    def _sibling_fallback(self, state):
+    def _sibling_fallback(self, state, allowed=None):
         """Greedy action for an unvisited state.
 
         A deployed table can meet a runtime-variance combination it was
@@ -178,7 +194,7 @@ class AutoScale:
         """
         block = self._variance_block_size()
         if block <= 0:
-            return self.qtable.best_action(state)
+            return self.qtable.best_action(state, allowed)
         base = (state // block) * block
         offset = state - base
         best_action, best_distance = None, None
@@ -189,9 +205,10 @@ class AutoScale:
             distance = self._bin_distance(offset, sibling_offset)
             if best_distance is None or distance < best_distance:
                 best_distance = distance
-                best_action = self.qtable.best_visited_action(sibling)
+                best_action = self.qtable.best_visited_action(
+                    sibling, allowed)
         if best_action is None:
-            return self.qtable.best_action(state)
+            return self.qtable.best_action(state, allowed)
         return best_action
 
     def _bin_distance(self, offset_a, offset_b):
@@ -208,22 +225,31 @@ class AutoScale:
             offset_b //= radix
         return distance
 
-    def step(self, use_case, observation=None):
+    def step(self, use_case, observation=None, allowed_actions=None,
+             deadline_ms=None):
         """One full Algorithm-1 cycle for an inference request.
 
         Observes the state, selects and executes an action, computes the
         reward, observes the successor state, and (in training mode)
         updates the Q-table.  Returns an :class:`AutoScaleStep`.
+
+        ``allowed_actions`` (boolean mask) and ``deadline_ms`` are the
+        resilient serving hooks: the mask keeps circuit-broken targets
+        out of selection, the deadline aborts remote attempts that would
+        overrun it (the aborted attempt still bills its energy and feeds
+        the Q update, so the table learns the target is flaky).
         """
         env = self.environment
         if observation is None:
             observation = env.observe()
         network = use_case.network
         state = self.observe_state(network, observation)
-        action, explored = self.select_action(state)
+        action, explored = self.select_action(state,
+                                              allowed=allowed_actions)
         target = self.action_space.target(action)
 
-        result = env.execute(network, target, observation)
+        result = env.execute(network, target, observation,
+                             deadline_ms=deadline_ms)
 
         started = time.perf_counter()
         reward = compute_reward(result, use_case, self.reward_config)

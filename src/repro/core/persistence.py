@@ -9,11 +9,20 @@ on-disk format is a directory holding:
   hyperparameters, so a load against a *different* environment (wrong
   device, changed action augmentations) fails loudly instead of silently
   mis-indexing actions.
+
+Writes are crash-safe: both files are written to temporaries and moved
+into place with ``os.replace``, so a checkpoint interrupted mid-write
+leaves the previous checkpoint intact rather than a torn one.
+``meta.json`` records the table file's SHA-256; :func:`load_engine`
+verifies it before deserializing, turning silent bit-rot or a torn copy
+into a clear :class:`~repro.common.ConfigError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
 
 from repro.common import ConfigError
@@ -25,16 +34,36 @@ __all__ = ["save_engine", "load_engine"]
 
 _META_NAME = "meta.json"
 _TABLE_NAME = "qtable.npz"
+# ``np.savez`` appends ".npz" when missing, so the temp name keeps it.
+_TABLE_TMP_NAME = "qtable.tmp.npz"
+_META_TMP_NAME = "meta.json.tmp"
 _FORMAT_VERSION = 1
 
 
+def _sha256_of(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def save_engine(engine, directory):
-    """Persist a trained engine to ``directory`` (created if needed)."""
+    """Persist a trained engine to ``directory`` (created if needed).
+
+    Atomic per file: the table and the metadata each land via a
+    temp-file + ``os.replace`` pair, and the metadata embeds the table's
+    SHA-256 so :func:`load_engine` can detect corruption.
+    """
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    engine.qtable.save(path / _TABLE_NAME)
+    table_tmp = path / _TABLE_TMP_NAME
+    engine.qtable.save(table_tmp)
+    table_sha256 = _sha256_of(table_tmp)
+    os.replace(table_tmp, path / _TABLE_NAME)
     meta = {
         "format_version": _FORMAT_VERSION,
+        "table_sha256": table_sha256,
         "device": engine.environment.device.name,
         "num_states": engine.state_space.size,
         "action_keys": [target.key for target in engine.action_space],
@@ -53,7 +82,9 @@ def save_engine(engine, directory):
             "energy_ref_mj": engine.reward_config.energy_ref_mj,
         },
     }
-    (path / _META_NAME).write_text(json.dumps(meta, indent=2))
+    meta_tmp = path / _META_TMP_NAME
+    meta_tmp.write_text(json.dumps(meta, indent=2))
+    os.replace(meta_tmp, path / _META_NAME)
     return path
 
 
@@ -61,8 +92,10 @@ def load_engine(directory, environment, seed=None):
     """Reconstruct an engine from disk against a compatible environment.
 
     Raises :class:`ConfigError` when the environment's action space does
-    not match the persisted one (different device or augmentations) or
-    when the state-space size differs.
+    not match the persisted one (different device or augmentations),
+    when the state-space size differs, or when the table file's SHA-256
+    does not match the one recorded at save time (torn or corrupted
+    checkpoint).
     """
     path = pathlib.Path(directory)
     meta_path = path / _META_NAME
@@ -91,5 +124,19 @@ def load_engine(directory, environment, seed=None):
             f"state-space size mismatch: persisted {meta['num_states']}, "
             f"environment {engine.state_space.size}"
         )
-    engine.qtable = QTable.load(path / _TABLE_NAME, config=config)
+    table_path = path / _TABLE_NAME
+    if not table_path.exists():
+        raise ConfigError(f"no Q-table at {table_path}")
+    expected_sha256 = meta.get("table_sha256")
+    if expected_sha256 is not None:
+        # Older checkpoints (no recorded digest) load unverified.
+        actual_sha256 = _sha256_of(table_path)
+        if actual_sha256 != expected_sha256:
+            raise ConfigError(
+                f"corrupt checkpoint: {table_path} has sha256 "
+                f"{actual_sha256[:12]}…, metadata recorded "
+                f"{expected_sha256[:12]}… — the checkpoint was torn or "
+                "modified after saving"
+            )
+    engine.qtable = QTable.load(table_path, config=config)
     return engine

@@ -89,11 +89,20 @@ class QTable:
     def num_actions(self):
         return self.values.shape[1]
 
-    def best_action(self, state):
-        """argmax_a Q(state, a)."""
-        return int(np.argmax(self.values[state]))
+    def best_action(self, state, allowed=None):
+        """argmax_a Q(state, a).
 
-    def best_visited_action(self, state):
+        ``allowed`` (a boolean mask over actions, e.g. from circuit
+        breakers) restricts the argmax to the True entries; a mask with
+        no True entry degenerates to the unmasked argmax rather than
+        returning a nonsensical index.
+        """
+        if allowed is None or not np.any(allowed):
+            return int(np.argmax(self.values[state]))
+        values = np.where(allowed, self.values[state], -np.inf)
+        return int(np.argmax(values))
+
+    def best_visited_action(self, state, allowed=None):
         """argmax_a Q(state, a) restricted to actions tried in ``state``.
 
         Random initialization doubles as optimistic exploration during
@@ -101,11 +110,14 @@ class QTable:
         leftover init value is meaningless — the trained-table selection
         rule therefore only considers actions whose Q reflects at least
         one real reward.  Falls back to the global argmax for states that
-        were never visited at all.
+        were never visited at all.  ``allowed`` additionally restricts
+        the choice as in :meth:`best_action`.
         """
         visited = self.visits[state] > 0
+        if allowed is not None:
+            visited = visited & np.asarray(allowed, dtype=bool)
         if not visited.any():
-            return self.best_action(state)
+            return self.best_action(state, allowed)
         values = np.where(visited, self.values[state], -np.inf)
         return int(np.argmax(values))
 

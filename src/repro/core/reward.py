@@ -86,6 +86,19 @@ def compute_reward(result, use_case, config=RewardConfig(),
 
     Returns the scalar reward.
     """
+    if getattr(result, "failed", False):
+        # An injected fault (or a deadline abort) delivered nothing but
+        # still burned energy.  Score it strictly below the accuracy-
+        # failure branch so a flaky target ranks worse than any target
+        # that at least returns an answer, with the billed energy as a
+        # tie-break between flaky targets.
+        if energy_mj is None:
+            energy_mj = result.estimated_energy_mj
+        if config.normalize:
+            return (-_ACCURACY_FAIL_OFFSET - 1.0
+                    - energy_mj / config.energy_ref_mj)
+        return -100.0 - energy_mj / 1000.0
+
     accuracy = result.accuracy_pct
     if not use_case.meets_accuracy(accuracy):
         if config.normalize:

@@ -10,6 +10,15 @@ table, and exposes the two calls a service framework needs:
 
 Training is continuous by default (the paper's "continuously learns"),
 with :meth:`set_learning` to pin a converged table in place.
+
+With a :class:`~repro.faults.ResiliencePolicy` attached, :meth:`handle`
+becomes the *resilient* serving path (see docs/robustness.md): remote
+attempts run under a deadline, failed attempts are retried with
+exponential backoff and jitter, repeat offenders are circuit-broken out
+of the engine's action space, and a request whose retries are exhausted
+degrades to the best local target rather than failing the caller.
+``ResiliencePolicy.disabled()`` (the default) is bit-identical to the
+historical single-attempt path.
 """
 
 from __future__ import annotations
@@ -17,10 +26,14 @@ from __future__ import annotations
 import pathlib
 from typing import Optional
 
-from repro.common import ConfigError, UnknownKeyError
+import numpy as np
+
+from repro.common import ConfigError, UnknownKeyError, make_rng
 from repro.core.engine import AutoScale
 from repro.core.persistence import load_engine, save_engine
-from repro.evalharness.tracing import TraceRecorder
+from repro.evalharness.tracing import TraceRecorder, load_trace
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.resilience import ResiliencePolicy
 
 __all__ = ["AutoScaleService"]
 
@@ -29,13 +42,17 @@ class AutoScaleService:
     """A deployable wrapper around one engine and its bookkeeping."""
 
     def __init__(self, environment, engine=None, seed=None,
-                 trace_limit=10_000):
+                 trace_limit=10_000, resilience=None):
         if trace_limit < 1:
             raise ConfigError("trace_limit must be >= 1")
         self.environment = environment
         self.engine = engine or AutoScale(environment, seed=seed)
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(max_records=trace_limit)
         self.trace_limit = trace_limit
+        self.resilience = (resilience if resilience is not None
+                           else ResiliencePolicy.disabled())
+        self._retry_rng = make_rng(seed)
+        self._breakers = {}
         self._registered = {}
 
     # ------------------------------------------------------------------
@@ -67,16 +84,126 @@ class AutoScaleService:
     def handle(self, name):
         """Schedule and execute one inference for a registered service.
 
-        Returns the :class:`~repro.env.result.ExecutionResult`.
+        Returns the :class:`~repro.env.result.ExecutionResult` — or,
+        with faults active and no resilience policy, possibly a
+        :class:`~repro.faults.FailedAttempt` (the naive path surfaces
+        failures to the caller; the resilient path absorbs them).
         """
         use_case = self.use_case(name)
-        step = self.engine.step(use_case)
-        if len(self.trace) >= self.trace_limit:
-            # Rolling window: drop the oldest half in one go (amortized).
-            self.trace.records = self.trace.records[self.trace_limit // 2:]
-        self.trace.record_step(step, use_case,
-                               at_ms=self.environment.clock.now_ms)
-        return step.result
+        if not self.resilience.enabled:
+            step = self.engine.step(use_case)
+            self.trace.record_step(step, use_case,
+                                   at_ms=self.environment.clock.now_ms)
+            return step.result
+        return self._handle_resilient(use_case)
+
+    def _handle_resilient(self, use_case):
+        """The resilient request path: deadline, retries, degradation.
+
+        Every attempt goes through the engine's full Algorithm-1 cycle,
+        so failed attempts also *teach* the Q-table (their reward sits
+        below every delivering action's) while the breakers mask the
+        worst offenders out of selection entirely.
+        """
+        policy = self.resilience
+        env = self.environment
+        deadline_ms = policy.deadline_ms(use_case.qos_ms)
+        failed_energy_mj = 0.0
+        attempts = 0
+        step = None
+        while attempts <= policy.max_retries:
+            step = self.engine.step(
+                use_case, allowed_actions=self._allowed_actions(),
+                deadline_ms=deadline_ms,
+            )
+            attempts += 1
+            self._note_outcome(step)
+            if not step.result.failed:
+                self.trace.record_step(
+                    step, use_case, at_ms=env.clock.now_ms,
+                    status="ok", retries=attempts - 1,
+                    failed_energy_mj=failed_energy_mj,
+                )
+                return step.result
+            failed_energy_mj += step.result.energy_mj
+            if attempts <= policy.max_retries:
+                env.clock.advance(
+                    policy.backoff_ms(attempts - 1, self._retry_rng)
+                )
+        # Retries exhausted: degrade to the best local target, which the
+        # fault plan cannot touch.  Only a use case with no accuracy-
+        # feasible local target at all still fails.
+        result = self._degrade(use_case)
+        if result is None:
+            self.trace.record_step(
+                step, use_case, at_ms=env.clock.now_ms,
+                status="failed", retries=attempts - 1,
+                failed_energy_mj=failed_energy_mj - step.result.energy_mj,
+            )
+            return step.result
+        self.trace.record_result(
+            result, use_case, at_ms=env.clock.now_ms,
+            status="degraded", retries=attempts - 1,
+            failed_energy_mj=failed_energy_mj,
+        )
+        return result
+
+    def _degrade(self, use_case):
+        """Execute the best accuracy-feasible local target directly."""
+        env = self.environment
+        targets = env.targets()
+        local_indices = [index for index, target in enumerate(targets)
+                         if not target.is_remote]
+        if not local_indices:
+            return None
+        observation = env.observe()
+        sweep = env.estimate_all(use_case.network, observation)
+        best = sweep.argbest(use_case, indices=local_indices)
+        if best is None:
+            return None
+        return env.execute(use_case.network, targets[best], observation)
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+
+    def _allowed_actions(self):
+        """Boolean action mask from the breakers, or ``None`` (= all)."""
+        if not self._breakers:
+            return None
+        now_ms = self.environment.clock.now_ms
+        verdicts = {key: breaker.allows(now_ms)
+                    for key, breaker in self._breakers.items()}
+        if all(verdicts.values()):
+            return None
+        space = self.engine.action_space
+        allowed = np.ones(len(space), dtype=bool)
+        for index in range(len(space)):
+            if not verdicts.get(space.target(index).key, True):
+                allowed[index] = False
+        return allowed
+
+    def _note_outcome(self, step):
+        """Feed one attempt's outcome to its target's breaker."""
+        target = self.engine.action_space.target(step.action)
+        if not target.is_remote:
+            return
+        breaker = self._breakers.get(target.key)
+        if breaker is None:
+            if not step.result.failed:
+                return  # no breaker bookkeeping for healthy targets
+            breaker = CircuitBreaker(self.resilience.breaker)
+            self._breakers[target.key] = breaker
+        now_ms = self.environment.clock.now_ms
+        if step.result.failed:
+            breaker.record_failure(now_ms)
+        else:
+            breaker.record_success(now_ms)
+
+    def breaker_states(self):
+        """Current breaker state per (ever-failed) remote target key."""
+        return {key: breaker.state.value
+                for key, breaker in sorted(self._breakers.items())}
 
     def set_learning(self, enabled):
         """Toggle continuous learning (off pins the trained table)."""
@@ -94,14 +221,25 @@ class AutoScaleService:
     # ------------------------------------------------------------------
 
     def status(self):
-        """A service-health snapshot."""
+        """A service-health snapshot.
+
+        With traffic recorded this includes the trace summary's
+        resilience block (``availability_pct``, ``degraded_pct``,
+        ``retries_per_request``, ``failed_energy_mj``) plus the live
+        breaker states and the environment's fault counters.
+        """
         status = {
             "services": list(self.services),
             "learning": self.learning,
+            "resilience_enabled": self.resilience.enabled,
             "inferences_served": len(self.engine.history),
             "qtable_mb": self.engine.memory_footprint_bytes() / 1e6,
             "converged": self.engine.converged,
+            "breakers": self.breaker_states(),
         }
+        fault_stats = getattr(self.environment, "fault_stats", None)
+        if fault_stats is not None:
+            status["faults"] = fault_stats.as_dict()
         if len(self.trace):
             status.update(self.trace.summary())
         return status
@@ -119,7 +257,19 @@ class AutoScaleService:
 
     @classmethod
     def restore(cls, directory, environment, seed=None,
-                trace_limit=10_000):
-        """Reconstruct a service from a checkpoint."""
+                trace_limit=10_000, resilience=None):
+        """Reconstruct a service from a checkpoint.
+
+        Restores the trained table *and* the rolling trace (when the
+        checkpoint saved one), bounded by ``trace_limit`` — so a
+        restarted service resumes with its observability intact instead
+        of an empty history.
+        """
         engine = load_engine(directory, environment, seed=seed)
-        return cls(environment, engine=engine, trace_limit=trace_limit)
+        service = cls(environment, engine=engine, trace_limit=trace_limit,
+                      resilience=resilience)
+        trace_path = pathlib.Path(directory) / "trace.jsonl"
+        if trace_path.exists():
+            service.trace = load_trace(trace_path,
+                                       max_records=trace_limit)
+        return service

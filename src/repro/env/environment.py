@@ -34,6 +34,8 @@ from repro.env.executor import (
 from repro.env.observation import Observation
 from repro.env.scenarios import build_scenario
 from repro.env.target import ExecutionTarget, Location, enumerate_targets
+from repro.faults.failure import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hardware.devices import cloud_server, galaxy_tab_s6
 from repro.interference.model import InterferenceModel
 from repro.models.accuracy import DEFAULT_ACCURACY
@@ -64,11 +66,16 @@ class EdgeCloudEnvironment:
         accuracy: the pre-measured accuracy table.
         noise: ground-truth stochastic-variance magnitudes.
         seed: RNG seed (or a Generator) for all stochasticity.
+        faults: a :class:`~repro.faults.FaultPlan` of request-level
+            faults applied to remote attempts; defaults to
+            ``FaultPlan.none()``, which changes nothing (no extra RNG
+            draws, bit-identical executions).
     """
 
     def __init__(self, device, cloud=None, connected=None, scenario="S1",
                  wifi=None, p2p=None, interference=None,
-                 accuracy=DEFAULT_ACCURACY, noise=None, seed=None):
+                 accuracy=DEFAULT_ACCURACY, noise=None, seed=None,
+                 faults=None):
         self.device = device
         self.cloud = cloud_server() if cloud is None else (
             None if cloud is False else cloud)
@@ -89,6 +96,7 @@ class EdgeCloudEnvironment:
         self.noise = noise if noise is not None else NoiseConfig()
         self.rng = make_rng(seed)
         self.clock = Stopwatch()
+        self.faults = faults  # property setter builds the injector
         self._targets = enumerate_targets(device, self.cloud, self.connected)
         self._cost_engine = NominalCostEngine(self)
 
@@ -107,6 +115,26 @@ class EdgeCloudEnvironment:
         engine = getattr(self, "_cost_engine", None)
         if engine is not None:  # not yet built during __init__
             engine.invalidate()
+
+    # ------------------------------------------------------------------
+    # Fault plan (swappable between serving phases, e.g. chaos sweeps)
+    # ------------------------------------------------------------------
+
+    @property
+    def faults(self):
+        """The active :class:`~repro.faults.FaultPlan`."""
+        return self._fault_injector.plan
+
+    @faults.setter
+    def faults(self, plan):
+        self._fault_injector = FaultInjector(
+            plan if plan is not None else FaultPlan.none()
+        )
+
+    @property
+    def fault_stats(self):
+        """Cumulative injected-fault counters and billed energy."""
+        return self._fault_injector.stats
 
     # ------------------------------------------------------------------
     # Action space and observations
@@ -165,15 +193,33 @@ class EdgeCloudEnvironment:
         return CoRunnerLoad(cpu_util=observation.cpu_util,
                             mem_util=observation.mem_util)
 
-    def execute(self, network, target, observation=None):
+    def execute(self, network, target, observation=None, deadline_ms=None):
         """Run one inference and advance virtual time.
 
         If ``observation`` is omitted, a fresh one is sampled — this is
         the normal serving loop: observe, decide, execute.
+
+        With an active fault plan, a remote attempt may come back as a
+        :class:`~repro.faults.FailedAttempt` that bills the energy the
+        dead attempt burned.  ``deadline_ms`` (used by the resilient
+        serving path) aborts a remote attempt whose completion would run
+        past it, independent of the fault plan.  The clock advances by
+        whatever time the attempt actually consumed.
         """
         if observation is None:
             observation = self.observe()
         result = self._run(network, target, observation, rng=self.rng)
+        injector = self._fault_injector
+        if target.is_remote and (injector.active or deadline_ms is not None):
+            _, link = self._remote_setup(target)
+            idle_power_mw = (self.device.soc.platform_idle_mw
+                             + self.device.soc.cpu.idle_power_mw
+                             + link.idle_power_mw)
+            result = injector.apply(
+                result, target, link, self._rssi_for(target, observation),
+                self.clock.now_ms, self.rng, idle_power_mw,
+                deadline_ms=deadline_ms,
+            )
         self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
         return result
 

@@ -41,6 +41,11 @@ class ExecutionResult:
     target_key: str
     detail: Dict[str, float] = field(default_factory=dict)
 
+    #: Class-level discriminator shared with
+    #: :class:`repro.faults.FailedAttempt` (which sets it True): a
+    #: completed execution always delivered a result.
+    failed = False
+
     def __post_init__(self):
         # Finiteness first: NaN slips through plain comparisons (``nan
         # <= 0`` is False), and a NaN latency here would silently poison

@@ -22,8 +22,15 @@ from repro.evalharness.evaluation import (
     fig14_convergence,
     overhead_analysis,
 )
+from repro.evalharness.chaos import (
+    DEFAULT_LEVELS,
+    ChaosLevel,
+    chaos_episode,
+    chaos_sweep,
+)
 from repro.evalharness.metrics import (
     EpisodeStats,
+    availability_pct,
     decision_match,
     mape,
     misclassification_ratio,
@@ -80,7 +87,12 @@ __all__ = [
     "fig13_decisions",
     "fig14_convergence",
     "overhead_analysis",
+    "ChaosLevel",
+    "DEFAULT_LEVELS",
+    "chaos_episode",
+    "chaos_sweep",
     "EpisodeStats",
+    "availability_pct",
     "decision_match",
     "mape",
     "misclassification_ratio",

@@ -25,12 +25,27 @@ from repro.common import ConfigError
 
 __all__ = [
     "EpisodeStats",
+    "availability_pct",
     "mape",
     "misclassification_ratio",
     "ppw_ratio",
     "qos_violation_ratio",
     "decision_match",
 ]
+
+
+def availability_pct(statuses):
+    """Fraction of requests that delivered a result, in percent.
+
+    Takes an iterable of :class:`~repro.evalharness.tracing.TraceRecord`
+    status strings (``"ok"`` and ``"degraded"`` both delivered;
+    ``"failed"`` did not).
+    """
+    statuses = list(statuses)
+    if not statuses:
+        raise ConfigError("no statuses")
+    delivered = sum(1 for status in statuses if status != "failed")
+    return delivered / len(statuses) * 100.0
 
 
 def mape(predicted, measured):

@@ -27,9 +27,22 @@ from repro.common import ConfigError
 __all__ = ["TraceRecord", "TraceRecorder", "load_trace"]
 
 
+#: Legal ``TraceRecord.status`` values: a normally delivered result, a
+#: request that delivered nothing (naive serving under faults), and a
+#: result delivered by the resilience fallback after remote attempts
+#: were exhausted.
+_STATUSES = ("ok", "failed", "degraded")
+
+
 @dataclass(frozen=True)
 class TraceRecord:
-    """One inference, flattened for persistence."""
+    """One inference, flattened for persistence.
+
+    ``status``/``retries``/``failed_energy_mj`` are the resilience
+    bookkeeping: ``failed_energy_mj`` is the energy billed to dead
+    attempts *before* this record's outcome (for ``status="failed"``
+    the record's own ``energy_mj`` is itself dead-attempt energy).
+    """
 
     index: int
     at_ms: float
@@ -42,6 +55,9 @@ class TraceRecord:
     qos_ms: float
     reward: Optional[float] = None
     explored: Optional[bool] = None
+    status: str = "ok"
+    retries: int = 0
+    failed_energy_mj: float = 0.0
 
     def __post_init__(self):
         ensure_duration_ms(self.at_ms, "at_ms")
@@ -55,16 +71,38 @@ class TraceRecord:
             )
         if self.reward is not None:
             ensure_finite(self.reward, "reward")
+        if self.status not in _STATUSES:
+            raise ConfigError(
+                f"unknown trace status {self.status!r}; "
+                f"legal: {_STATUSES}"
+            )
+        if self.retries < 0:
+            raise ConfigError(f"negative retries: {self.retries}")
+        ensure_energy_mj(self.failed_energy_mj, "failed_energy_mj")
+
+    @property
+    def delivered(self):
+        """Whether the request produced an inference result at all."""
+        return self.status != "failed"
 
     @property
     def meets_qos(self):
-        return self.latency_ms <= self.qos_ms
+        """A request that delivered nothing cannot have met its QoS."""
+        return self.delivered and self.latency_ms <= self.qos_ms
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceRecord` entries and analyzes them."""
+    """Accumulates :class:`TraceRecord` entries and analyzes them.
 
-    def __init__(self):
+    ``max_records`` bounds the trace as a rolling window: when an append
+    would reach the bound, the oldest half is dropped in one go
+    (amortized O(1) per record).  ``None`` keeps everything.
+    """
+
+    def __init__(self, max_records=None):
+        if max_records is not None and max_records < 1:
+            raise ConfigError("max_records must be >= 1 (or None)")
+        self.max_records = max_records
         self.records: List[TraceRecord] = []
 
     def __len__(self):
@@ -74,9 +112,24 @@ class TraceRecorder:
     # Capture
     # ------------------------------------------------------------------
 
-    def record_step(self, step, use_case, at_ms=None):
-        """Capture one engine :class:`AutoScaleStep`."""
+    def _trim(self):
+        if self.max_records is not None \
+                and len(self.records) >= self.max_records:
+            self.records = self.records[self.max_records // 2:]
+
+    def record_step(self, step, use_case, at_ms=None, status=None,
+                    retries=0, failed_energy_mj=0.0):
+        """Capture one engine :class:`AutoScaleStep`.
+
+        ``status`` defaults from the result itself (``"failed"`` for a
+        :class:`~repro.faults.FailedAttempt`, else ``"ok"``); the
+        resilient service overrides it and supplies the retry count and
+        the energy its dead attempts burned.
+        """
+        self._trim()
         result = step.result
+        if status is None:
+            status = "failed" if getattr(result, "failed", False) else "ok"
         self.records.append(TraceRecord(
             index=len(self.records),
             at_ms=float(at_ms if at_ms is not None else len(self.records)),
@@ -89,11 +142,19 @@ class TraceRecorder:
             qos_ms=use_case.qos_ms,
             reward=step.reward,
             explored=step.explored,
+            status=status,
+            retries=retries,
+            failed_energy_mj=failed_energy_mj,
         ))
         return self.records[-1]
 
-    def record_result(self, result, use_case, at_ms=None):
-        """Capture a bare :class:`ExecutionResult` (baseline schedulers)."""
+    def record_result(self, result, use_case, at_ms=None, status=None,
+                      retries=0, failed_energy_mj=0.0):
+        """Capture a bare :class:`ExecutionResult` (baseline schedulers,
+        and the resilient service's degraded-mode fallback)."""
+        self._trim()
+        if status is None:
+            status = "failed" if getattr(result, "failed", False) else "ok"
         self.records.append(TraceRecord(
             index=len(self.records),
             at_ms=float(at_ms if at_ms is not None else len(self.records)),
@@ -104,6 +165,9 @@ class TraceRecorder:
             estimated_energy_mj=result.estimated_energy_mj,
             accuracy_pct=result.accuracy_pct,
             qos_ms=use_case.qos_ms,
+            status=status,
+            retries=retries,
+            failed_energy_mj=failed_energy_mj,
         ))
         return self.records[-1]
 
@@ -128,17 +192,31 @@ class TraceRecorder:
             raise ConfigError("trace is empty")
 
     def summary(self):
-        """Aggregate energy/latency/violation statistics."""
+        """Aggregate energy/latency/violation/availability statistics."""
         self._require_records()
         energies = np.array([r.energy_mj for r in self.records])
         latencies = np.array([r.latency_ms for r in self.records])
         violations = sum(1 for r in self.records if not r.meets_qos)
+        delivered = sum(1 for r in self.records if r.delivered)
+        degraded = sum(1 for r in self.records
+                       if r.status == "degraded")
+        total = len(self.records)
+        # Dead-attempt energy: resilient records carry it alongside a
+        # delivered result; a "failed" record's own energy *is* it.
+        failed_energy_mj = sum(r.failed_energy_mj for r in self.records)
+        failed_energy_mj += sum(r.energy_mj for r in self.records
+                                if not r.delivered)
         return {
-            "num_inferences": len(self.records),
+            "num_inferences": total,
             "total_energy_mj": float(energies.sum()),
             "mean_energy_mj": float(energies.mean()),
             "p95_latency_ms": float(np.percentile(latencies, 95)),
-            "qos_violation_pct": violations / len(self.records) * 100.0,
+            "qos_violation_pct": violations / total * 100.0,
+            "availability_pct": delivered / total * 100.0,
+            "degraded_pct": degraded / total * 100.0,
+            "retries_per_request": sum(r.retries for r in self.records)
+            / total,
+            "failed_energy_mj": float(failed_energy_mj),
         }
 
     def decisions_by_location(self):
@@ -189,16 +267,22 @@ class TraceRecorder:
                      * 100.0)
 
 
-def load_trace(path):
-    """Read a JSONL trace back into a :class:`TraceRecorder`."""
+def load_trace(path, max_records=None):
+    """Read a JSONL trace back into a :class:`TraceRecorder`.
+
+    ``max_records`` restores the recorder's rolling-window bound (only
+    the newest ``max_records`` lines are kept, with original indices).
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise ConfigError(f"no trace at {path}")
-    recorder = TraceRecorder()
+    recorder = TraceRecorder(max_records=max_records)
     with path.open() as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
             recorder.records.append(TraceRecord(**json.loads(line)))
+    if max_records is not None and len(recorder.records) > max_records:
+        recorder.records = recorder.records[-max_records:]
     return recorder

@@ -1,0 +1,118 @@
+"""Per-remote-target circuit breakers.
+
+A dead cloud endpoint should not cost the scheduler a failed attempt per
+episode to rediscover: after a few consecutive failures the breaker
+*opens* and the target is masked out of the engine's action space
+entirely.  After a cooldown it moves to *half-open* and lets probe
+requests through; a successful probe closes it, a failed one re-opens
+it.  All timing runs on the environment's virtual clock.
+
+::
+
+            failures >= threshold              cooldown elapsed
+    CLOSED ───────────────────────▶ OPEN ───────────────────────▶ HALF_OPEN
+      ▲                               ▲                              │
+      │          probe success        │        probe failure         │
+      └───────────────────────────────┴──────────────────────────────┘
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.common import ConfigError
+
+__all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state circuit-breaker machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Breaker thresholds and timing.
+
+    Attributes:
+        failure_threshold: consecutive failures that open the breaker.
+        cooldown_ms: virtual time an open breaker blocks traffic before
+            admitting half-open probes.
+        half_open_successes: probe successes needed to re-close.
+    """
+
+    failure_threshold: int = 3
+    cooldown_ms: float = 2_000.0
+    half_open_successes: int = 1
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ConfigError(
+                f"failure threshold must be >= 1: {self.failure_threshold}"
+            )
+        if not math.isfinite(self.cooldown_ms) or self.cooldown_ms <= 0:
+            raise ConfigError(f"bad breaker cooldown: {self.cooldown_ms} ms")
+        if self.half_open_successes < 1:
+            raise ConfigError(
+                f"half-open successes must be >= 1: "
+                f"{self.half_open_successes}"
+            )
+
+
+class CircuitBreaker:
+    """One breaker guarding one remote execution target."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.probe_successes = 0
+        self.opened_at_ms = 0.0
+        self.times_opened = 0
+
+    def allows(self, now_ms):
+        """Whether an attempt may go through at virtual time ``now_ms``.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open here and admits the caller as its probe.
+        """
+        if self.state is BreakerState.OPEN:
+            if now_ms - self.opened_at_ms >= self.config.cooldown_ms:
+                self.state = BreakerState.HALF_OPEN
+                self.probe_successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self, now_ms):
+        """An attempt against the guarded target completed."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_successes += 1
+            if self.probe_successes >= self.config.half_open_successes:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self, now_ms):
+        """An attempt against the guarded target failed."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now_ms)
+            return
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self.consecutive_failures
+                >= self.config.failure_threshold):
+            self._open(now_ms)
+
+    def _open(self, now_ms):
+        self.state = BreakerState.OPEN
+        self.opened_at_ms = now_ms
+        self.times_opened += 1
+        self.consecutive_failures = 0
+        self.probe_successes = 0

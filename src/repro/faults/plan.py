@@ -1,0 +1,144 @@
+"""Composable request-level fault plans.
+
+The paper's scenarios model *degradation* — weak signal makes an offload
+slow, contention makes it slower — but a production phone also sees hard
+*failures*: a transfer that dies to packet loss, a cloud endpoint that is
+simply unreachable, a server that straggles an order of magnitude, an
+attempt torn down mid-flight.  A :class:`FaultPlan` describes those
+request-level faults declaratively; the
+:class:`~repro.faults.failure.FaultInjector` samples them against each
+remote execution attempt.
+
+``FaultPlan.none()`` is the exact fault-free substrate: with it attached
+(the environment default) every execution is bit-identical to an
+environment with no fault machinery at all — no extra RNG draws, no
+behavioural change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.common import ConfigError
+from repro.env.target import Location
+
+__all__ = ["OutageWindow", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A hard-unavailability window for one remote location.
+
+    While a window covers the virtual clock, every attempt against that
+    location fails immediately with
+    :attr:`~repro.faults.failure.FaultKind.UNAVAILABLE` — the radio link
+    may be perfect, but the endpoint is gone (AP reboot, server deploy,
+    tunnel).  ``period_ms == 0`` makes the window one-shot; a positive
+    period repeats it (the outage analogue of
+    :class:`~repro.wireless.signal.OutageSignal`).
+    """
+
+    location: Union[Location, str]
+    start_ms: float = 0.0
+    duration_ms: float = 10_000.0
+    period_ms: float = 0.0
+
+    def __post_init__(self):
+        if isinstance(self.location, str):
+            object.__setattr__(self, "location", Location(self.location))
+        if self.location is Location.LOCAL:
+            raise ConfigError("outage windows apply to remote locations")
+        if not math.isfinite(self.start_ms) or self.start_ms < 0:
+            raise ConfigError(f"bad outage start: {self.start_ms} ms")
+        if not math.isfinite(self.duration_ms) or self.duration_ms <= 0:
+            raise ConfigError(f"bad outage duration: {self.duration_ms} ms")
+        if self.period_ms != 0.0 and (not math.isfinite(self.period_ms)
+                                      or self.period_ms <= self.duration_ms):
+            raise ConfigError(
+                "outage period must be 0 (one-shot) or longer than the "
+                f"duration; got period {self.period_ms} ms for duration "
+                f"{self.duration_ms} ms"
+            )
+
+    def covers(self, location, now_ms):
+        """Whether this window blacks out ``location`` at ``now_ms``."""
+        if location is not self.location:
+            return False
+        if now_ms < self.start_ms:
+            return False
+        if self.period_ms == 0.0:
+            return now_ms < self.start_ms + self.duration_ms
+        phase_ms = (now_ms - self.start_ms) % self.period_ms
+        return phase_ms < self.duration_ms
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Request-level fault intensities for remote execution attempts.
+
+    Attributes:
+        loss_scale: scales the link's RSSI-tied per-attempt loss
+            probability (:meth:`~repro.wireless.link.WirelessLink.
+            loss_probability`) in [0, 1]; 0 disables packet-loss faults.
+            At strong signal the underlying probability is negligible,
+            so this fault only bites where the paper's weak-signal
+            scenarios already hurt.
+        outages: hard-unavailability windows (see :class:`OutageWindow`).
+        straggler_prob: per-attempt probability the remote server
+            straggles; the server-compute phase is stretched by
+            ``straggler_factor`` and the phone is billed the extra idle
+            wait.  Stragglers degrade, they do not fail.
+        straggler_factor: remote-compute latency multiplier (>= 1).
+        abort_prob: per-attempt probability the attempt is torn down
+            mid-flight (process kill, connection reset) at a random
+            point of its timeline; the energy already spent is billed.
+        unavailable_timeout_ms: how long an attempt against an outaged
+            location burns (connect timeout) before failing; billed at
+            the phone's idle floor.
+    """
+
+    loss_scale: float = 0.0
+    outages: Tuple[OutageWindow, ...] = ()
+    straggler_prob: float = 0.0
+    straggler_factor: float = 4.0
+    abort_prob: float = 0.0
+    unavailable_timeout_ms: float = 250.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "outages", tuple(self.outages))
+        for name in ("loss_scale", "straggler_prob", "abort_prob"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} outside [0, 1]: {value}")
+        if not math.isfinite(self.straggler_factor) \
+                or self.straggler_factor < 1.0:
+            raise ConfigError(
+                f"straggler factor must be >= 1: {self.straggler_factor}"
+            )
+        if not math.isfinite(self.unavailable_timeout_ms) \
+                or self.unavailable_timeout_ms <= 0:
+            raise ConfigError(
+                f"bad unavailable timeout: {self.unavailable_timeout_ms} ms"
+            )
+
+    @classmethod
+    def none(cls):
+        """The fault-free plan (the environment default)."""
+        return cls()
+
+    @property
+    def active(self):
+        """Whether any fault can ever fire under this plan."""
+        return bool(
+            self.loss_scale > 0.0
+            or self.outages
+            or self.straggler_prob > 0.0
+            or self.abort_prob > 0.0
+        )
+
+    def outage_covers(self, location, now_ms):
+        """Whether any window blacks out ``location`` at ``now_ms``."""
+        return any(window.covers(location, now_ms)
+                   for window in self.outages)

@@ -1,0 +1,94 @@
+"""The serving-path resilience policy.
+
+One frozen config object holds every knob of
+:class:`~repro.core.service.AutoScaleService`'s resilient request path:
+the deadline for remote attempts, the bounded retry/backoff schedule,
+and the circuit-breaker thresholds.  ``ResiliencePolicy.disabled()``
+reproduces the naive single-attempt path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import ConfigError
+from repro.faults.breaker import BreakerConfig
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the resilient serving path.
+
+    Attributes:
+        enabled: master switch; ``disabled()`` is the naive path.
+        max_retries: additional attempts after a failed one (the request
+            makes at most ``max_retries + 1`` scheduled attempts before
+            degrading to the best local target).
+        backoff_base_ms: first retry delay; doubles per retry.
+        backoff_cap_ms: upper bound on any single delay.
+        backoff_jitter: fraction of each delay randomized away (0
+            disables jitter; 1 allows delays down to zero) to prevent
+            retry synchronization across services.
+        timeout_headroom: remote attempts are aborted once their
+            projected completion exceeds ``qos_ms * timeout_headroom``
+            (a failed-fast :attr:`~repro.faults.failure.FaultKind.
+            TIMEOUT`); 0 disables the deadline.  Values > 1 keep
+            slightly-late-but-useful work alive and kill only the
+            pathological tail.
+        breaker: per-remote-target circuit-breaker thresholds.
+    """
+
+    enabled: bool = True
+    max_retries: int = 2
+    backoff_base_ms: float = 25.0
+    backoff_cap_ms: float = 400.0
+    backoff_jitter: float = 0.5
+    timeout_headroom: float = 4.0
+    breaker: BreakerConfig = BreakerConfig()
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError(f"negative max_retries: {self.max_retries}")
+        if not math.isfinite(self.backoff_base_ms) \
+                or self.backoff_base_ms <= 0:
+            raise ConfigError(f"bad backoff base: {self.backoff_base_ms} ms")
+        if not math.isfinite(self.backoff_cap_ms) \
+                or self.backoff_cap_ms < self.backoff_base_ms:
+            raise ConfigError(
+                f"backoff cap {self.backoff_cap_ms} ms below base "
+                f"{self.backoff_base_ms} ms"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigError(
+                f"backoff jitter outside [0, 1]: {self.backoff_jitter}"
+            )
+        if not math.isfinite(self.timeout_headroom) \
+                or self.timeout_headroom < 0:
+            raise ConfigError(
+                f"bad timeout headroom: {self.timeout_headroom}"
+            )
+
+    @classmethod
+    def disabled(cls):
+        """The naive single-attempt path (bit-identical to no policy)."""
+        return cls(enabled=False)
+
+    def deadline_ms(self, qos_ms):
+        """The remote-attempt deadline for a QoS target, or ``None``."""
+        if not self.enabled or self.timeout_headroom == 0.0:
+            return None
+        return qos_ms * self.timeout_headroom
+
+    def backoff_ms(self, retry_index, rng):
+        """Exponential backoff with jitter for the ``retry_index``-th
+        retry (0-based), sampled through the ``make_rng`` funnel."""
+        if retry_index < 0:
+            raise ConfigError(f"negative retry index: {retry_index}")
+        delay_ms = min(self.backoff_cap_ms,
+                       self.backoff_base_ms * (2.0 ** retry_index))
+        if self.backoff_jitter > 0.0:
+            delay_ms *= 1.0 - self.backoff_jitter * float(rng.random())
+        return delay_ms

@@ -108,6 +108,19 @@ class WirelessLink:
         """Table I's binary RSSI state (weak iff <= -80 dBm)."""
         return rssi_dbm <= WEAK_RSSI_DBM
 
+    def loss_probability(self, rssi_dbm):
+        """Per-attempt probability a transfer dies at this RSSI.
+
+        Squared weakness: negligible at strong signal (where the rate
+        curve is flat), rising steeply through the −80 dBm knee and
+        approaching 1 as the link dies — link-layer retransmissions
+        absorb isolated drops until the loss floor overwhelms them.
+        Consumed by :class:`repro.faults.FaultPlan`, whose
+        ``loss_scale`` scales it.
+        """
+        weak_fraction = self.weakness(rssi_dbm)
+        return weak_fraction * weak_fraction
+
     # ------------------------------------------------------------------
     # Transfers
     # ------------------------------------------------------------------

@@ -46,3 +46,12 @@ def test_costcache_enters_with_zero_allowlist_entries():
     assert report.files_checked == 1
     assert report.ok, "\n" + report.format()
     assert not report.suppressed
+
+
+def test_faults_package_enters_with_zero_allowlist_entries():
+    """The fault-injection/resilience subsystem is likewise born clean:
+    every module passes every rule with the allowlist disabled."""
+    report = lint_paths([SRC / "faults"], allowlist=False)
+    assert report.files_checked == 5
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed

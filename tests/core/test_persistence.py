@@ -73,3 +73,71 @@ class TestValidation:
         env = EdgeCloudEnvironment(build_device("mi8pro"), seed=9)
         with pytest.raises(ConfigError, match="format"):
             load_engine(tmp_path / "engine", env)
+
+
+class TestCrashSafety:
+    def test_no_temp_files_left_behind(self, trained, tmp_path):
+        path = save_engine(trained, tmp_path / "engine")
+        names = {p.name for p in path.iterdir()}
+        assert names == {"meta.json", "qtable.npz"}
+
+    def test_metadata_records_table_digest(self, trained, tmp_path):
+        import hashlib
+        import json
+        path = save_engine(trained, tmp_path / "engine")
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["table_sha256"] == hashlib.sha256(
+            (path / "qtable.npz").read_bytes()).hexdigest()
+
+    def test_corrupted_table_rejected(self, trained, tmp_path):
+        path = save_engine(trained, tmp_path / "engine")
+        table = path / "qtable.npz"
+        blob = bytearray(table.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one bit mid-file
+        table.write_bytes(bytes(blob))
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        with pytest.raises(ConfigError, match="corrupt"):
+            load_engine(path, env)
+
+    def test_truncated_table_rejected(self, trained, tmp_path):
+        """A torn copy (e.g. a crash mid-``cp``) fails the digest check
+        instead of surfacing as a numpy deserialization error."""
+        path = save_engine(trained, tmp_path / "engine")
+        table = path / "qtable.npz"
+        table.write_bytes(table.read_bytes()[:100])
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        with pytest.raises(ConfigError, match="corrupt"):
+            load_engine(path, env)
+
+    def test_missing_table_rejected(self, trained, tmp_path):
+        path = save_engine(trained, tmp_path / "engine")
+        (path / "qtable.npz").unlink()
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        with pytest.raises(ConfigError, match="no Q-table"):
+            load_engine(path, env)
+
+    def test_legacy_checkpoint_without_digest_loads(self, trained,
+                                                    tmp_path):
+        import json
+        path = save_engine(trained, tmp_path / "engine")
+        meta = json.loads((path / "meta.json").read_text())
+        del meta["table_sha256"]
+        (path / "meta.json").write_text(json.dumps(meta))
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        loaded = load_engine(path, env)
+        assert np.allclose(loaded.qtable.values, trained.qtable.values)
+
+    def test_resave_overwrites_atomically(self, trained, tmp_path):
+        """Saving over an existing checkpoint replaces it in place."""
+        path = save_engine(trained, tmp_path / "engine")
+        save_engine(trained, path)
+        names = {p.name for p in path.iterdir()}
+        assert names == {"meta.json", "qtable.npz"}
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=9)
+        loaded = load_engine(path, env)
+        assert np.allclose(loaded.qtable.values, trained.qtable.values)

@@ -94,3 +94,46 @@ class TestCheckpointRestore:
         service.handle("mobilenet_v3_non_streaming")
         service.checkpoint(tmp_path / "svc")
         assert (tmp_path / "svc" / "trace.jsonl").exists()
+
+    def test_restore_reloads_trace(self, service, tmp_path, zoo):
+        for _ in range(12):
+            service.handle("mobilenet_v3_non_streaming")
+        service.checkpoint(tmp_path / "svc")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=7)
+        restored = AutoScaleService.restore(tmp_path / "svc", env)
+        assert len(restored.trace) == 12
+        assert restored.trace.records == service.trace.records
+
+    def test_restore_trace_respects_limit(self, service, tmp_path):
+        for _ in range(12):
+            service.handle("mobilenet_v3_non_streaming")
+        service.checkpoint(tmp_path / "svc")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=7)
+        restored = AutoScaleService.restore(tmp_path / "svc", env,
+                                            trace_limit=5)
+        assert len(restored.trace) == 5
+        assert restored.trace.records[-1] == service.trace.records[-1]
+
+    def test_restore_without_trace_starts_empty(self, service, tmp_path):
+        from repro.core.persistence import save_engine
+        save_engine(service.engine, tmp_path / "bare")
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=7)
+        restored = AutoScaleService.restore(tmp_path / "bare", env)
+        assert len(restored.trace) == 0
+
+
+class TestResilienceSurface:
+    def test_disabled_by_default(self, service):
+        assert not service.resilience.enabled
+        status = service.status()
+        assert status["resilience_enabled"] is False
+        assert status["breakers"] == {}
+
+    def test_status_reports_fault_ledger(self, service):
+        service.handle("mobilenet_v3_non_streaming")
+        status = service.status()
+        assert status["faults"]["attempts"] >= 0
+        assert status["availability_pct"] == 100.0

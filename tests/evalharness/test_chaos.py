@@ -1,0 +1,103 @@
+"""Tests for the chaos evaluation driver."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.evalharness.chaos import (
+    DEFAULT_LEVELS,
+    ChaosLevel,
+    chaos_episode,
+    chaos_sweep,
+)
+from repro.faults import FaultPlan
+
+#: One faulted level, small request count: the seeded regression anchor.
+_PLAN = FaultPlan(loss_scale=1.0, abort_prob=0.15)
+
+
+class TestEpisode:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError, match="scheduler"):
+            chaos_episode("adaptive", FaultPlan.none())
+
+    def test_bad_request_count_rejected(self):
+        with pytest.raises(ConfigError):
+            chaos_episode("naive", FaultPlan.none(), num_requests=0)
+
+    def test_row_shape(self):
+        row = chaos_episode("static_local", FaultPlan.none(),
+                            num_requests=5)
+        assert row["scheduler"] == "static_local"
+        assert row["num_inferences"] == 5
+        assert row["availability_pct"] == 100.0
+        assert row["fault_attempts"] == 0
+
+    def test_static_local_immune_to_faults(self):
+        row = chaos_episode("static_local", _PLAN, num_requests=20,
+                            seed=3)
+        assert row["availability_pct"] == 100.0
+        assert row["fault_billed_energy_mj"] == 0.0
+
+    def test_static_remote_suffers(self):
+        row = chaos_episode("static_remote", _PLAN, num_requests=60,
+                            seed=3)
+        assert row["availability_pct"] < 100.0
+        assert row["fault_billed_energy_mj"] > 0.0
+
+
+class TestResilienceDominatesNaive:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        kwargs = dict(num_requests=120, seed=3)
+        return (chaos_episode("resilient", _PLAN, **kwargs),
+                chaos_episode("naive", _PLAN, **kwargs))
+
+    def test_strictly_higher_availability(self, pair):
+        resilient, naive = pair
+        assert naive["availability_pct"] < 100.0
+        assert resilient["availability_pct"] \
+            > naive["availability_pct"]
+
+    def test_strictly_lower_qos_violations(self, pair):
+        resilient, naive = pair
+        assert resilient["qos_violation_pct"] \
+            < naive["qos_violation_pct"]
+
+    def test_recovery_mechanisms_engaged(self, pair):
+        resilient, _ = pair
+        assert resilient["retries_per_request"] > 0.0
+
+    def test_conservation_in_both(self, pair):
+        for row in pair:
+            assert row["failed_energy_mj"] \
+                == pytest.approx(row["fault_billed_energy_mj"])
+
+
+class TestSweep:
+    def test_default_levels_are_ordered_intensities(self):
+        assert DEFAULT_LEVELS[0].plan == FaultPlan.none()
+        assert all(level.plan.active for level in DEFAULT_LEVELS[1:])
+
+    def test_level_needs_name(self):
+        with pytest.raises(ConfigError):
+            ChaosLevel("", FaultPlan.none())
+
+    def test_sweep_covers_grid(self):
+        levels = (ChaosLevel("calm", FaultPlan.none()),
+                  ChaosLevel("rough", _PLAN))
+        rows = chaos_sweep(levels=levels,
+                           schedulers=("naive", "static_local"),
+                           num_requests=10, seed=1)
+        assert len(rows) == 4
+        assert {(r["level"], r["scheduler"]) for r in rows} == {
+            ("calm", "naive"), ("calm", "static_local"),
+            ("rough", "naive"), ("rough", "static_local"),
+        }
+
+    def test_calm_level_is_fault_free(self):
+        rows = chaos_sweep(levels=(ChaosLevel("calm", FaultPlan.none()),),
+                           schedulers=("resilient", "naive"),
+                           num_requests=15, seed=2)
+        for row in rows:
+            assert row["availability_pct"] == 100.0
+            assert row["fault_billed_energy_mj"] == 0.0

@@ -90,3 +90,84 @@ class TestPersistence:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
             load_trace(tmp_path / "nope.jsonl")
+
+    def test_load_respects_max_records(self, traced, tmp_path):
+        recorder, _ = traced
+        path = recorder.save(tmp_path / "trace.jsonl")
+        loaded = load_trace(path, max_records=10)
+        assert len(loaded) == 10
+        assert loaded.max_records == 10
+        # The *newest* records survive, original indices intact.
+        assert loaded.records[-1] == recorder.records[-1]
+
+
+class TestResilienceBookkeeping:
+    def _record(self, **overrides):
+        from repro.evalharness.tracing import TraceRecord
+        fields = dict(index=0, at_ms=0.0, use_case="svc",
+                      target_key="cloud/gpu/fp32", latency_ms=10.0,
+                      energy_mj=5.0, estimated_energy_mj=5.0,
+                      accuracy_pct=75.0, qos_ms=100.0)
+        fields.update(overrides)
+        return TraceRecord(**fields)
+
+    def test_status_validated(self):
+        with pytest.raises(ConfigError, match="status"):
+            self._record(status="exploded")
+        with pytest.raises(ConfigError):
+            self._record(retries=-1)
+
+    def test_failed_records_never_meet_qos(self):
+        record = self._record(status="failed", latency_ms=1.0)
+        assert not record.delivered
+        assert not record.meets_qos
+
+    def test_degraded_records_deliver(self):
+        record = self._record(status="degraded")
+        assert record.delivered
+        assert record.meets_qos
+
+    def test_summary_accounts_failed_energy(self, traced):
+        recorder, case = traced
+        count = len(recorder.records)
+        recorder.records.append(self._record(
+            index=count, status="failed", energy_mj=7.0))
+        recorder.records.append(self._record(
+            index=count + 1, status="degraded", retries=2,
+            failed_energy_mj=3.0))
+        summary = recorder.summary()
+        assert summary["availability_pct"] \
+            == pytest.approx((count + 1) / (count + 2) * 100.0)
+        assert summary["degraded_pct"] \
+            == pytest.approx(1 / (count + 2) * 100.0)
+        assert summary["failed_energy_mj"] == pytest.approx(10.0)
+        assert summary["retries_per_request"] \
+            == pytest.approx(2 / (count + 2))
+
+    def test_resilience_fields_roundtrip_jsonl(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.records.append(self._record(status="degraded",
+                                             retries=3,
+                                             failed_energy_mj=12.5))
+        loaded = load_trace(recorder.save(tmp_path / "t.jsonl"))
+        assert loaded.records[0] == recorder.records[0]
+
+
+class TestRollingWindow:
+    def test_bound_validated(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder(max_records=0)
+
+    def test_trims_oldest_half(self, zoo):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=4)
+        case = use_case_for(zoo["mobilenet_v3"])
+        recorder = TraceRecorder(max_records=10)
+        target = env.targets()[0]
+        for _ in range(25):
+            recorder.record_result(env.execute(case.network, target),
+                                   case)
+        assert len(recorder) <= 10
+
+    def test_unbounded_by_default(self):
+        assert TraceRecorder().max_records is None

@@ -1,0 +1,73 @@
+"""Tests for the per-target circuit breaker state machine."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.faults import BreakerConfig, BreakerState, CircuitBreaker
+
+
+@pytest.fixture()
+def breaker():
+    return CircuitBreaker(BreakerConfig(failure_threshold=3,
+                                        cooldown_ms=1_000.0,
+                                        half_open_successes=2))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(cooldown_ms=0.0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(half_open_successes=0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows(0.0)
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(20.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+        assert not breaker.allows(20.0)
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        breaker.record_success(20.0)
+        breaker.record_failure(30.0)
+        breaker.record_failure(40.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_admits_half_open_probe(self, breaker):
+        for at_ms in (0.0, 1.0, 2.0):
+            breaker.record_failure(at_ms)
+        assert not breaker.allows(500.0)   # still cooling down
+        assert breaker.allows(1_002.0)     # cooldown elapsed -> probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_successes_close(self, breaker):
+        for at_ms in (0.0, 1.0, 2.0):
+            breaker.record_failure(at_ms)
+        assert breaker.allows(2_000.0)
+        breaker.record_success(2_000.0)
+        assert breaker.state is BreakerState.HALF_OPEN  # needs 2
+        breaker.record_success(2_100.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self, breaker):
+        for at_ms in (0.0, 1.0, 2.0):
+            breaker.record_failure(at_ms)
+        assert breaker.allows(2_000.0)
+        breaker.record_failure(2_000.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        # The cooldown restarts from the reopen time.
+        assert not breaker.allows(2_500.0)
+        assert breaker.allows(3_000.0)

@@ -1,0 +1,183 @@
+"""Tests for typed failed attempts and the fault injector."""
+
+import pytest
+
+from repro.common import ConfigError, SimulationError, make_rng
+from repro.env.result import ExecutionResult
+from repro.env.target import ExecutionTarget, Location
+from repro.faults import (
+    FailedAttempt,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    OutageWindow,
+    truncate_attempt,
+)
+from repro.models.quantization import Precision
+from repro.wireless.profiles import default_wifi
+
+IDLE_POWER_MW = 200.0
+
+
+def remote_result():
+    return ExecutionResult(
+        latency_ms=100.0, energy_mj=50.0, estimated_energy_mj=40.0,
+        accuracy_pct=76.0, target_key="cloud/gpu/fp32",
+        detail={"tx_ms": 20.0, "rtt_ms": 10.0, "remote_ms": 60.0},
+    )
+
+
+def cloud_target():
+    return ExecutionTarget(location=Location.CLOUD, role="gpu",
+                           precision=Precision.FP32)
+
+
+class TestFailedAttempt:
+    def test_discriminator_and_surface(self):
+        attempt = FailedAttempt(
+            kind=FaultKind.ABORT, target_key="cloud/gpu/fp32",
+            latency_ms=10.0, energy_mj=5.0, estimated_energy_mj=4.0,
+        )
+        assert attempt.failed
+        assert not ExecutionResult(
+            latency_ms=1.0, energy_mj=1.0, estimated_energy_mj=1.0,
+            accuracy_pct=50.0, target_key="x",
+        ).failed
+        assert attempt.accuracy_pct == 0.0
+        assert not attempt.meets_qos(1e9)
+
+    def test_nonpositive_bill_rejected(self):
+        with pytest.raises(ConfigError):
+            FailedAttempt(kind=FaultKind.ABORT, target_key="x",
+                          latency_ms=10.0, energy_mj=0.0,
+                          estimated_energy_mj=4.0)
+
+
+class TestTruncateAttempt:
+    def test_linear_burn_billing(self):
+        attempt = truncate_attempt(remote_result(), 25.0, FaultKind.ABORT)
+        assert attempt.kind is FaultKind.ABORT
+        assert attempt.latency_ms == pytest.approx(25.0)
+        assert attempt.energy_mj == pytest.approx(50.0 * 0.25)
+        assert attempt.estimated_energy_mj == pytest.approx(40.0 * 0.25)
+        assert attempt.detail["elapsed_fraction"] == pytest.approx(0.25)
+
+    def test_energy_is_conserved(self):
+        """Truncated bill + unspent remainder == the full attempt."""
+        result = remote_result()
+        attempt = truncate_attempt(result, 33.0, FaultKind.PACKET_LOSS)
+        remainder_mj = result.energy_mj * (1.0 - 33.0 / result.latency_ms)
+        assert attempt.energy_mj + remainder_mj \
+            == pytest.approx(result.energy_mj)
+
+    def test_out_of_range_elapsed_rejected(self):
+        for elapsed_ms in (0.0, -1.0, 100.0, 150.0):
+            with pytest.raises(SimulationError):
+                truncate_attempt(remote_result(), elapsed_ms,
+                                 FaultKind.ABORT)
+
+
+class TestInjector:
+    def test_inactive_plan_passes_through(self):
+        injector = FaultInjector(FaultPlan.none())
+        assert not injector.active
+        result = remote_result()
+        outcome = injector.apply(result, cloud_target(), default_wifi(),
+                                 -55.0, 0.0, make_rng(0), IDLE_POWER_MW)
+        assert outcome is result
+        assert injector.stats.total_failures == 0
+
+    def test_outage_bills_idle_floor(self):
+        plan = FaultPlan(outages=(OutageWindow("cloud", duration_ms=500.0),),
+                         unavailable_timeout_ms=250.0)
+        injector = FaultInjector(plan)
+        outcome = injector.apply(remote_result(), cloud_target(),
+                                 default_wifi(), -55.0, 100.0,
+                                 make_rng(0), IDLE_POWER_MW)
+        assert outcome.failed
+        assert outcome.kind is FaultKind.UNAVAILABLE
+        assert outcome.latency_ms == pytest.approx(250.0)
+        assert outcome.energy_mj \
+            == pytest.approx(IDLE_POWER_MW * 250.0 / 1000.0)
+        assert injector.stats.failures == {"unavailable": 1}
+
+    def test_outage_only_while_covered(self):
+        plan = FaultPlan(outages=(OutageWindow("cloud", duration_ms=500.0),))
+        injector = FaultInjector(plan)
+        outcome = injector.apply(remote_result(), cloud_target(),
+                                 default_wifi(), -55.0, 600.0,
+                                 make_rng(0), IDLE_POWER_MW)
+        assert not outcome.failed
+
+    def test_packet_loss_dies_in_radio_window(self):
+        plan = FaultPlan(loss_scale=1.0)
+        injector = FaultInjector(plan)
+        link = default_wifi()
+        assert link.loss_probability(-100.0) > 0.99
+        outcome = injector.apply(remote_result(), cloud_target(), link,
+                                 -100.0, 0.0, make_rng(0), IDLE_POWER_MW)
+        assert outcome.failed
+        assert outcome.kind is FaultKind.PACKET_LOSS
+        # Death lands inside the radio phase (tx 20 ms + rtt 10 ms).
+        assert 0.0 < outcome.latency_ms <= 30.0
+
+    def test_loss_negligible_at_strong_signal(self):
+        link = default_wifi()
+        assert link.loss_probability(-55.0) < 1e-4
+
+    def test_certain_abort_truncates(self):
+        injector = FaultInjector(FaultPlan(abort_prob=1.0))
+        outcome = injector.apply(remote_result(), cloud_target(),
+                                 default_wifi(), -55.0, 0.0,
+                                 make_rng(0), IDLE_POWER_MW)
+        assert outcome.failed
+        assert outcome.kind is FaultKind.ABORT
+        assert 0.0 < outcome.latency_ms < 100.0
+
+    def test_straggler_stretches_and_bills_the_wait(self):
+        injector = FaultInjector(FaultPlan(straggler_prob=1.0,
+                                           straggler_factor=4.0))
+        result = remote_result()
+        outcome = injector.apply(result, cloud_target(), default_wifi(),
+                                 -55.0, 0.0, make_rng(0), IDLE_POWER_MW)
+        assert not outcome.failed
+        extra_ms = 3.0 * result.detail["remote_ms"]
+        assert outcome.latency_ms \
+            == pytest.approx(result.latency_ms + extra_ms)
+        assert outcome.energy_mj == pytest.approx(
+            result.energy_mj + IDLE_POWER_MW * extra_ms / 1000.0
+        )
+        assert injector.stats.stragglers == 1
+        assert injector.stats.total_failures == 0
+
+    def test_deadline_timeout_without_any_plan(self):
+        injector = FaultInjector(FaultPlan.none())
+        outcome = injector.apply(remote_result(), cloud_target(),
+                                 default_wifi(), -55.0, 0.0,
+                                 make_rng(0), IDLE_POWER_MW,
+                                 deadline_ms=60.0)
+        assert outcome.failed
+        assert outcome.kind is FaultKind.TIMEOUT
+        assert outcome.latency_ms == pytest.approx(60.0)
+        assert outcome.energy_mj == pytest.approx(50.0 * 0.6)
+
+    def test_deadline_spares_fast_attempts(self):
+        injector = FaultInjector(FaultPlan.none())
+        outcome = injector.apply(remote_result(), cloud_target(),
+                                 default_wifi(), -55.0, 0.0,
+                                 make_rng(0), IDLE_POWER_MW,
+                                 deadline_ms=150.0)
+        assert not outcome.failed
+
+    def test_ledger_matches_billed_failures(self):
+        injector = FaultInjector(FaultPlan(abort_prob=1.0))
+        billed_mj = 0.0
+        for _ in range(10):
+            outcome = injector.apply(remote_result(), cloud_target(),
+                                     default_wifi(), -55.0, 0.0,
+                                     make_rng(3), IDLE_POWER_MW)
+            billed_mj += outcome.energy_mj
+        stats = injector.stats
+        assert stats.attempts == 10
+        assert stats.total_failures == 10
+        assert stats.billed_energy_mj == pytest.approx(billed_mj)

@@ -1,0 +1,80 @@
+"""Tests for fault plans and outage windows."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.env.target import Location
+from repro.faults import FaultPlan, OutageWindow
+
+
+class TestOutageWindow:
+    def test_string_location_normalized(self):
+        window = OutageWindow("cloud")
+        assert window.location is Location.CLOUD
+
+    def test_local_rejected(self):
+        with pytest.raises(ConfigError, match="remote"):
+            OutageWindow(Location.LOCAL)
+
+    def test_bad_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            OutageWindow("cloud", start_ms=-1.0)
+        with pytest.raises(ConfigError):
+            OutageWindow("cloud", duration_ms=0.0)
+        # A period must exceed the duration (or be 0 = one-shot).
+        with pytest.raises(ConfigError):
+            OutageWindow("cloud", duration_ms=100.0, period_ms=100.0)
+
+    def test_one_shot_coverage(self):
+        window = OutageWindow("cloud", start_ms=100.0, duration_ms=50.0)
+        assert not window.covers(Location.CLOUD, 99.0)
+        assert window.covers(Location.CLOUD, 100.0)
+        assert window.covers(Location.CLOUD, 149.0)
+        assert not window.covers(Location.CLOUD, 150.0)
+        assert not window.covers(Location.CLOUD, 1e6)
+
+    def test_periodic_coverage_wraps(self):
+        window = OutageWindow("cloud", start_ms=0.0, duration_ms=25.0,
+                              period_ms=100.0)
+        assert window.covers(Location.CLOUD, 10.0)
+        assert not window.covers(Location.CLOUD, 30.0)
+        assert window.covers(Location.CLOUD, 110.0)
+        assert not window.covers(Location.CLOUD, 130.0)
+
+    def test_wrong_location_not_covered(self):
+        window = OutageWindow("cloud")
+        assert not window.covers(Location.CONNECTED, 0.0)
+
+
+class TestFaultPlan:
+    def test_none_is_inactive(self):
+        assert not FaultPlan.none().active
+
+    def test_each_fault_activates(self):
+        assert FaultPlan(loss_scale=0.1).active
+        assert FaultPlan(abort_prob=0.1).active
+        assert FaultPlan(straggler_prob=0.1).active
+        assert FaultPlan(outages=(OutageWindow("cloud"),)).active
+
+    def test_probability_bounds(self):
+        for name in ("loss_scale", "straggler_prob", "abort_prob"):
+            with pytest.raises(ConfigError, match=name):
+                FaultPlan(**{name: 1.5})
+            with pytest.raises(ConfigError, match=name):
+                FaultPlan(**{name: -0.1})
+
+    def test_other_bounds(self):
+        with pytest.raises(ConfigError, match="straggler factor"):
+            FaultPlan(straggler_factor=0.5)
+        with pytest.raises(ConfigError, match="timeout"):
+            FaultPlan(unavailable_timeout_ms=0.0)
+
+    def test_outage_covers_any_window(self):
+        plan = FaultPlan(outages=[
+            OutageWindow("cloud", start_ms=0.0, duration_ms=10.0),
+            OutageWindow("connected", start_ms=50.0, duration_ms=10.0),
+        ])
+        assert isinstance(plan.outages, tuple)  # normalized
+        assert plan.outage_covers(Location.CLOUD, 5.0)
+        assert plan.outage_covers(Location.CONNECTED, 55.0)
+        assert not plan.outage_covers(Location.CLOUD, 55.0)

@@ -1,0 +1,60 @@
+"""Tests for the serving-path resilience policy."""
+
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.faults import ResiliencePolicy
+
+
+class TestValidation:
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(backoff_base_ms=0.0)
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(backoff_base_ms=100.0, backoff_cap_ms=50.0)
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(backoff_jitter=1.5)
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(timeout_headroom=-1.0)
+
+    def test_disabled(self):
+        policy = ResiliencePolicy.disabled()
+        assert not policy.enabled
+        assert policy.deadline_ms(100.0) is None
+
+
+class TestDeadline:
+    def test_headroom_scales_qos(self):
+        policy = ResiliencePolicy(timeout_headroom=4.0)
+        assert policy.deadline_ms(50.0) == pytest.approx(200.0)
+
+    def test_zero_headroom_disables(self):
+        policy = ResiliencePolicy(timeout_headroom=0.0)
+        assert policy.deadline_ms(50.0) is None
+
+
+class TestBackoff:
+    def test_doubles_then_caps(self):
+        policy = ResiliencePolicy(backoff_base_ms=10.0,
+                                  backoff_cap_ms=35.0,
+                                  backoff_jitter=0.0)
+        rng = make_rng(0)
+        delays = [policy.backoff_ms(i, rng) for i in range(4)]
+        assert delays == pytest.approx([10.0, 20.0, 35.0, 35.0])
+
+    def test_jitter_stays_within_band(self):
+        policy = ResiliencePolicy(backoff_base_ms=10.0,
+                                  backoff_cap_ms=1_000.0,
+                                  backoff_jitter=0.5)
+        rng = make_rng(7)
+        for retry_index in range(3):
+            full_ms = 10.0 * 2.0 ** retry_index
+            for _ in range(50):
+                delay_ms = policy.backoff_ms(retry_index, rng)
+                assert 0.5 * full_ms <= delay_ms <= full_ms
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy().backoff_ms(-1, make_rng(0))
