@@ -1,0 +1,58 @@
+"""Overload smoke benchmark: serving quality at three arrival intensities.
+
+Replays the default calm/busy/surge profiles through all three serving
+policies and persists the headline serving metrics (queue-delay
+percentiles, shed share, energy per delivered inference) to
+``benchmarks/results/BENCH_overload.json`` for the CI artifact.  The
+dominance *assertion* lives in the gating suite
+(``tests/serving/test_overload_dominance.py``); this job records the
+numbers.
+"""
+
+import json
+
+from conftest import RESULTS_DIR
+
+from repro.evalharness.overload import overload_sweep
+
+DURATION_MS = 15_000.0
+WARMUP_REQUESTS = 300
+SEED = 0
+
+
+def test_overload_sweep_bench():
+    rows = overload_sweep(duration_ms=DURATION_MS,
+                          warmup_requests=WARMUP_REQUESTS, seed=SEED)
+    payload = {
+        "duration_ms": DURATION_MS,
+        "warmup_requests": WARMUP_REQUESTS,
+        "seed": SEED,
+        "rows": [
+            {
+                "profile": row["profile"],
+                "policy": row["policy"],
+                "arrivals_per_s": row["arrivals_per_s"],
+                "offered": row["offered"],
+                "num_inferences": row["num_inferences"],
+                "shed_pct": row["shed_pct"],
+                "qos_violation_pct": row["qos_violation_pct"],
+                "energy_per_delivered_mj": row["energy_per_delivered_mj"],
+                "p50_queue_delay_ms": row["p50_queue_delay_ms"],
+                "p99_queue_delay_ms": row["p99_queue_delay_ms"],
+                "queue_peak_depth": row["queue_peak_depth"],
+            }
+            for row in rows
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_overload.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    for row in payload["rows"]:
+        print(f"{row['profile']:6s} {row['policy']:14s} "
+              f"shed={row['shed_pct']:5.1f}% "
+              f"viol={row['qos_violation_pct']:5.1f}% "
+              f"mJ/del={row['energy_per_delivered_mj']:7.2f} "
+              f"p99q={row['p99_queue_delay_ms']:8.1f} ms")
+    assert len(payload["rows"]) == 9

@@ -30,6 +30,9 @@ Sub-packages:
 - ``repro.env`` — the edge-cloud execution simulator and Table IV;
 - ``repro.faults`` — request-level fault injection and the resilient
   serving vocabulary (see docs/robustness.md);
+- ``repro.serving`` — open-loop arrivals, admission control,
+  deadline-aware load shedding, and brownout degradation
+  (see docs/robustness.md);
 - ``repro.baselines`` — Edge/Cloud/Connected/Opt, LR/SVR/SVM/KNN/BO,
   MOSAIC, NeuroSurgeon;
 - ``repro.evalharness`` — metrics and one driver per paper figure.
@@ -63,6 +66,15 @@ from repro.faults import (
     ResiliencePolicy,
 )
 from repro.hardware import Device, build_device
+from repro.serving import (
+    BrownoutConfig,
+    DeadlinePolicy,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    ServingConfig,
+    ServingPipeline,
+    TraceArrivals,
+)
 from repro.models import (
     NeuralNetwork,
     Precision,
@@ -97,6 +109,13 @@ __all__ = [
     "ResiliencePolicy",
     "Device",
     "build_device",
+    "BrownoutConfig",
+    "DeadlinePolicy",
+    "MarkovModulatedArrivals",
+    "PoissonArrivals",
+    "ServingConfig",
+    "ServingPipeline",
+    "TraceArrivals",
     "NeuralNetwork",
     "Precision",
     "build_network",

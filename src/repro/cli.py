@@ -8,7 +8,10 @@ Installed as ``repro-autoscale`` (see ``pyproject.toml``).  Subcommands:
 - ``predict`` — load a persisted engine and print its decision for the
   current (simulated) conditions;
 - ``experiment`` — run one of the paper-figure drivers and print the
-  reproduced table.
+  reproduced table;
+- ``overload`` — replay an open-loop arrival stream through the serving
+  pipeline and compare shed/brownout policies against naive FIFO,
+  optionally under a chaos fault level.
 
 Examples::
 
@@ -18,6 +21,8 @@ Examples::
     repro-autoscale predict --load /tmp/engine --device mi8pro \\
         --network mobilenet_v3 --scenario S4
     repro-autoscale experiment fig2
+    repro-autoscale overload --profile surge --policy shed_brownout \\
+        --faults mild
 """
 
 from __future__ import annotations
@@ -92,6 +97,26 @@ def build_parser():
     )
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default=None)
+
+    overload = sub.add_parser(
+        "overload",
+        help="open-loop overload sweep (queue, shedder, brownout)",
+    )
+    overload.add_argument("--profile", default="all",
+                          choices=("calm", "busy", "surge", "all"),
+                          help="arrival intensity profile")
+    overload.add_argument("--policy", default="all",
+                          choices=("fifo", "shed", "shed_brownout", "all"),
+                          help="serving policy")
+    overload.add_argument("--faults", default="calm",
+                          choices=("calm", "mild", "rough", "hostile"),
+                          help="chaos fault level to compose with")
+    overload.add_argument("--device", default="mi8pro")
+    overload.add_argument("--network", default="inception_v1")
+    overload.add_argument("--qos-ms", type=float, default=200.0)
+    overload.add_argument("--duration-ms", type=float, default=20_000.0)
+    overload.add_argument("--warmup", type=int, default=300)
+    overload.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -181,6 +206,45 @@ def _cmd_experiment(args, out):
     return 0
 
 
+def _cmd_overload(args, out):
+    from repro.evalharness.chaos import DEFAULT_LEVELS
+    from repro.evalharness.overload import (
+        DEFAULT_PROFILES,
+        SERVING_POLICIES,
+        overload_episode,
+    )
+    from repro.hardware.devices import build_device
+
+    plan = next(level.plan for level in DEFAULT_LEVELS
+                if level.name == args.faults)
+    profiles = (DEFAULT_PROFILES if args.profile == "all"
+                else tuple(p for p in DEFAULT_PROFILES
+                           if p.name == args.profile))
+    policies = (SERVING_POLICIES if args.policy == "all"
+                else (args.policy,))
+    device = build_device(args.device)
+    header = (f"{'profile':8s} {'policy':14s} {'offered':>7s} "
+              f"{'shed%':>6s} {'viol%':>6s} {'mJ/del':>7s} "
+              f"{'p99 queue ms':>12s}")
+    out.write(header + "\n")
+    for profile in profiles:
+        for policy in policies:
+            row = overload_episode(
+                policy, profile, plan=plan, device=device,
+                network_name=args.network, qos_ms=args.qos_ms,
+                duration_ms=args.duration_ms,
+                warmup_requests=args.warmup, seed=args.seed,
+            )
+            out.write(
+                f"{row['profile']:8s} {row['policy']:14s} "
+                f"{row['offered']:7d} {row['shed_pct']:6.1f} "
+                f"{row['qos_violation_pct']:6.1f} "
+                f"{row['energy_per_delivered_mj']:7.2f} "
+                f"{row['p99_queue_delay_ms']:12.1f}\n"
+            )
+    return 0
+
+
 def _cmd_report(args, out):
     from repro.evalharness.report import generate_report
 
@@ -202,6 +266,8 @@ def main(argv=None, out=None):
         return _cmd_experiment(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
+    if args.command == "overload":
+        return _cmd_overload(args, out)
     raise ConfigError(f"unhandled command {args.command!r}")
 
 

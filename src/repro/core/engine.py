@@ -242,10 +242,37 @@ class AutoScale:
         env = self.environment
         if observation is None:
             observation = env.observe()
-        network = use_case.network
-        state = self.observe_state(network, observation)
+        state = self.observe_state(use_case.network, observation)
         action, explored = self.select_action(state,
                                               allowed=allowed_actions)
+        return self._complete_step(use_case, state, action, explored,
+                                   observation, deadline_ms)
+
+    def step_with_action(self, use_case, action, observation,
+                         explored=False, deadline_ms=None):
+        """Algorithm 1 with the selection already made.
+
+        The batched serving drain selects once per ``(network, state)``
+        group (one Q-table row read) and then completes each coalesced
+        request through this entry point: execute, reward, successor
+        observation, and Q update all still happen *per request*, so the
+        learning dynamics are identical to :meth:`step` — only the
+        redundant selections are elided.
+        """
+        if not 0 <= action < len(self.action_space):
+            raise ConfigError(
+                f"action {action} outside the "
+                f"{len(self.action_space)}-action space"
+            )
+        state = self.observe_state(use_case.network, observation)
+        return self._complete_step(use_case, state, action, explored,
+                                   observation, deadline_ms)
+
+    def _complete_step(self, use_case, state, action, explored,
+                       observation, deadline_ms):
+        """Execute + reward + successor-observe + update for one request."""
+        env = self.environment
+        network = use_case.network
         target = self.action_space.target(action)
 
         result = env.execute(network, target, observation,

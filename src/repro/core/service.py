@@ -97,13 +97,28 @@ class AutoScaleService:
             return step.result
         return self._handle_resilient(use_case)
 
-    def _handle_resilient(self, use_case):
+    def serve(self, arrivals, config=None):
+        """Replay an open-loop arrival stream through the serving
+        pipeline (see :mod:`repro.serving`); returns one
+        :class:`~repro.serving.ServedRequest` per arrival.
+
+        ``config`` is a :class:`~repro.serving.ServingConfig`; the
+        default enables the bounded queue, the deadline-aware shedder,
+        and the brownout controller.
+        """
+        # Imported lazily: repro.serving builds on this module.
+        from repro.serving.pipeline import ServingPipeline
+        return ServingPipeline(self, config).serve(arrivals)
+
+    def _handle_resilient(self, use_case, extra_allowed=None):
         """The resilient request path: deadline, retries, degradation.
 
         Every attempt goes through the engine's full Algorithm-1 cycle,
         so failed attempts also *teach* the Q-table (their reward sits
         below every delivering action's) while the breakers mask the
-        worst offenders out of selection entirely.
+        worst offenders out of selection entirely.  ``extra_allowed``
+        (the serving pipeline's brownout mask) intersects with the
+        breaker mask on every attempt.
         """
         policy = self.resilience
         env = self.environment
@@ -113,7 +128,9 @@ class AutoScaleService:
         step = None
         while attempts <= policy.max_retries:
             step = self.engine.step(
-                use_case, allowed_actions=self._allowed_actions(),
+                use_case,
+                allowed_actions=self._combine_masks(self._allowed_actions(),
+                                                    extra_allowed),
                 deadline_ms=deadline_ms,
             )
             attempts += 1
@@ -182,6 +199,23 @@ class AutoScaleService:
             if not verdicts.get(space.target(index).key, True):
                 allowed[index] = False
         return allowed
+
+    def action_mask(self):
+        """The current breaker-derived action mask (``None`` = all).
+
+        Public so the serving pipeline can intersect it with its own
+        brownout mask before selection.
+        """
+        return self._allowed_actions()
+
+    @staticmethod
+    def _combine_masks(first, second):
+        """Intersect two optional boolean masks (``None`` = everything)."""
+        if first is None:
+            return second
+        if second is None:
+            return first
+        return first & second
 
     def _note_outcome(self, step):
         """Feed one attempt's outcome to its target's breaker."""

@@ -70,12 +70,16 @@ class EdgeCloudEnvironment:
             faults applied to remote attempts; defaults to
             ``FaultPlan.none()``, which changes nothing (no extra RNG
             draws, bit-identical executions).
+        think_time_ms: virtual idle time appended to the clock after each
+            execution (default 150 ms, the historical closed-loop think
+            time).  Open-loop serving (``repro.serving``) sets this to 0
+            so the clock is driven by arrivals, not by a synthetic gap.
     """
 
     def __init__(self, device, cloud=None, connected=None, scenario="S1",
                  wifi=None, p2p=None, interference=None,
                  accuracy=DEFAULT_ACCURACY, noise=None, seed=None,
-                 faults=None):
+                 faults=None, think_time_ms=_INTER_ARRIVAL_MS):
         self.device = device
         self.cloud = cloud_server() if cloud is None else (
             None if cloud is False else cloud)
@@ -94,6 +98,11 @@ class EdgeCloudEnvironment:
             InterferenceModel(thermal=device.soc.thermal)
         self.accuracy = accuracy
         self.noise = noise if noise is not None else NoiseConfig()
+        if think_time_ms < 0:
+            raise ConfigError(
+                f"think time cannot be negative, got {think_time_ms} ms"
+            )
+        self.think_time_ms = think_time_ms
         self.rng = make_rng(seed)
         self.clock = Stopwatch()
         self.faults = faults  # property setter builds the injector
@@ -220,7 +229,7 @@ class EdgeCloudEnvironment:
                 self.clock.now_ms, self.rng, idle_power_mw,
                 deadline_ms=deadline_ms,
             )
-        self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+        self.clock.advance(result.latency_ms + self.think_time_ms)
         return result
 
     def estimate(self, network, target, observation):
@@ -278,7 +287,7 @@ class EdgeCloudEnvironment:
             rng=rng, noise=self.noise,
         )
         if not deterministic:
-            self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+            self.clock.advance(result.latency_ms + self.think_time_ms)
         return result
 
     def execute_pipelined(self, network, segments, observation=None,
@@ -292,5 +301,5 @@ class EdgeCloudEnvironment:
             self.interference, self.accuracy, rng=rng, noise=self.noise,
         )
         if not deterministic:
-            self.clock.advance(result.latency_ms + _INTER_ARRIVAL_MS)
+            self.clock.advance(result.latency_ms + self.think_time_ms)
         return result

@@ -28,6 +28,13 @@ from repro.evalharness.chaos import (
     chaos_episode,
     chaos_sweep,
 )
+from repro.evalharness.overload import (
+    DEFAULT_PROFILES,
+    SERVING_POLICIES,
+    ArrivalProfile,
+    overload_episode,
+    overload_sweep,
+)
 from repro.evalharness.metrics import (
     EpisodeStats,
     availability_pct,
@@ -91,6 +98,11 @@ __all__ = [
     "DEFAULT_LEVELS",
     "chaos_episode",
     "chaos_sweep",
+    "ArrivalProfile",
+    "DEFAULT_PROFILES",
+    "SERVING_POLICIES",
+    "overload_episode",
+    "overload_sweep",
     "EpisodeStats",
     "availability_pct",
     "decision_match",

@@ -28,10 +28,11 @@ __all__ = ["TraceRecord", "TraceRecorder", "load_trace"]
 
 
 #: Legal ``TraceRecord.status`` values: a normally delivered result, a
-#: request that delivered nothing (naive serving under faults), and a
+#: request that delivered nothing (naive serving under faults), a
 #: result delivered by the resilience fallback after remote attempts
-#: were exhausted.
-_STATUSES = ("ok", "failed", "degraded")
+#: were exhausted, and a request the overload pipeline refused to
+#: execute (zero latency, zero energy).
+_STATUSES = ("ok", "failed", "degraded", "shed")
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,12 @@ class TraceRecord:
     bookkeeping: ``failed_energy_mj`` is the energy billed to dead
     attempts *before* this record's outcome (for ``status="failed"``
     the record's own ``energy_mj`` is itself dead-attempt energy).
+
+    ``queue_delay_ms``/``tier`` are the overload bookkeeping: time the
+    request waited in the admission queue before service (or before
+    being shed), and the brownout tier it was served under.  QoS is
+    judged end-to-end — queueing delay counts against the deadline just
+    like service latency does.
     """
 
     index: int
@@ -58,13 +65,20 @@ class TraceRecord:
     status: str = "ok"
     retries: int = 0
     failed_energy_mj: float = 0.0
+    queue_delay_ms: float = 0.0
+    tier: str = "normal"
 
     def __post_init__(self):
         ensure_duration_ms(self.at_ms, "at_ms")
-        ensure_latency_ms(self.latency_ms, "latency_ms")
+        if self.status == "shed":
+            # A shed executes nothing; zero latency is its whole point.
+            ensure_duration_ms(self.latency_ms, "latency_ms")
+        else:
+            ensure_latency_ms(self.latency_ms, "latency_ms")
         ensure_energy_mj(self.energy_mj, "energy_mj")
         ensure_energy_mj(self.estimated_energy_mj, "estimated_energy_mj")
         ensure_duration_ms(self.qos_ms, "qos_ms")
+        ensure_duration_ms(self.queue_delay_ms, "queue_delay_ms")
         if not 0.0 <= self.accuracy_pct <= 100.0:
             raise ConfigError(
                 f"accuracy outside [0, 100]: {self.accuracy_pct}"
@@ -83,12 +97,17 @@ class TraceRecord:
     @property
     def delivered(self):
         """Whether the request produced an inference result at all."""
-        return self.status != "failed"
+        return self.status not in ("failed", "shed")
 
     @property
     def meets_qos(self):
-        """A request that delivered nothing cannot have met its QoS."""
-        return self.delivered and self.latency_ms <= self.qos_ms
+        """End-to-end QoS: queueing delay counts against the deadline.
+
+        A request that delivered nothing (failed or shed) cannot have
+        met its QoS.
+        """
+        return (self.delivered
+                and self.queue_delay_ms + self.latency_ms <= self.qos_ms)
 
 
 class TraceRecorder:
@@ -118,13 +137,15 @@ class TraceRecorder:
             self.records = self.records[self.max_records // 2:]
 
     def record_step(self, step, use_case, at_ms=None, status=None,
-                    retries=0, failed_energy_mj=0.0):
+                    retries=0, failed_energy_mj=0.0, queue_delay_ms=0.0,
+                    tier="normal"):
         """Capture one engine :class:`AutoScaleStep`.
 
         ``status`` defaults from the result itself (``"failed"`` for a
         :class:`~repro.faults.FailedAttempt`, else ``"ok"``); the
         resilient service overrides it and supplies the retry count and
-        the energy its dead attempts burned.
+        the energy its dead attempts burned.  The serving pipeline
+        supplies the queueing delay and brownout tier.
         """
         self._trim()
         result = step.result
@@ -145,11 +166,14 @@ class TraceRecorder:
             status=status,
             retries=retries,
             failed_energy_mj=failed_energy_mj,
+            queue_delay_ms=queue_delay_ms,
+            tier=tier,
         ))
         return self.records[-1]
 
     def record_result(self, result, use_case, at_ms=None, status=None,
-                      retries=0, failed_energy_mj=0.0):
+                      retries=0, failed_energy_mj=0.0, queue_delay_ms=0.0,
+                      tier="normal"):
         """Capture a bare :class:`ExecutionResult` (baseline schedulers,
         and the resilient service's degraded-mode fallback)."""
         self._trim()
@@ -168,6 +192,32 @@ class TraceRecorder:
             status=status,
             retries=retries,
             failed_energy_mj=failed_energy_mj,
+            queue_delay_ms=queue_delay_ms,
+            tier=tier,
+        ))
+        return self.records[-1]
+
+    def record_shed(self, shed, use_case):
+        """Capture a :class:`~repro.serving.SheddedRequest`.
+
+        Shed records bill zero latency and zero energy; their
+        ``target_key`` carries the shed reason (``"shed/<reason>"``) so
+        :meth:`decisions_by_location` and per-target breakdowns keep a
+        visible ``shed`` bucket.
+        """
+        self._trim()
+        self.records.append(TraceRecord(
+            index=len(self.records),
+            at_ms=shed.shed_at_ms,
+            use_case=use_case.name,
+            target_key=shed.target_key,
+            latency_ms=0.0,
+            energy_mj=0.0,
+            estimated_energy_mj=0.0,
+            accuracy_pct=0.0,
+            qos_ms=use_case.qos_ms,
+            status="shed",
+            queue_delay_ms=shed.queue_delay_ms,
         ))
         return self.records[-1]
 
@@ -191,32 +241,71 @@ class TraceRecorder:
         if not self.records:
             raise ConfigError("trace is empty")
 
+    _EMPTY_SUMMARY = {
+        "num_inferences": 0,
+        "total_energy_mj": 0.0,
+        "mean_energy_mj": 0.0,
+        "p95_latency_ms": 0.0,
+        "qos_violation_pct": 0.0,
+        "availability_pct": 0.0,
+        "degraded_pct": 0.0,
+        "retries_per_request": 0.0,
+        "failed_energy_mj": 0.0,
+        "shed_pct": 0.0,
+        "p50_queue_delay_ms": 0.0,
+        "p99_queue_delay_ms": 0.0,
+        "energy_per_delivered_mj": 0.0,
+    }
+
     def summary(self):
-        """Aggregate energy/latency/violation/availability statistics."""
-        self._require_records()
+        """Aggregate energy/latency/violation/availability statistics.
+
+        Degenerate traces are legal inputs: an empty trace returns the
+        all-zero summary (every key present, every rate 0.0) instead of
+        raising, and a trace with nothing delivered (all failed, all
+        shed) keeps every ratio finite — a monitoring endpoint must not
+        crash precisely when the service is at its sickest.
+        """
+        total = len(self.records)
+        if total == 0:
+            return dict(self._EMPTY_SUMMARY)
         energies = np.array([r.energy_mj for r in self.records])
-        latencies = np.array([r.latency_ms for r in self.records])
+        # Shed requests never executed; their zero latency is not a
+        # service-time sample and would drag percentiles toward zero.
+        executed_latencies = np.array([
+            r.latency_ms for r in self.records if r.status != "shed"
+        ])
+        queue_delays = np.array([r.queue_delay_ms for r in self.records])
         violations = sum(1 for r in self.records if not r.meets_qos)
         delivered = sum(1 for r in self.records if r.delivered)
-        degraded = sum(1 for r in self.records
-                       if r.status == "degraded")
-        total = len(self.records)
+        degraded = sum(1 for r in self.records if r.status == "degraded")
+        sheds = sum(1 for r in self.records if r.status == "shed")
         # Dead-attempt energy: resilient records carry it alongside a
         # delivered result; a "failed" record's own energy *is* it.
         failed_energy_mj = sum(r.failed_energy_mj for r in self.records)
         failed_energy_mj += sum(r.energy_mj for r in self.records
-                                if not r.delivered)
+                                if r.status == "failed")
+        total_energy_mj = float(energies.sum())
         return {
             "num_inferences": total,
-            "total_energy_mj": float(energies.sum()),
+            "total_energy_mj": total_energy_mj,
             "mean_energy_mj": float(energies.mean()),
-            "p95_latency_ms": float(np.percentile(latencies, 95)),
+            "p95_latency_ms": (
+                float(np.percentile(executed_latencies, 95))
+                if len(executed_latencies) else 0.0
+            ),
             "qos_violation_pct": violations / total * 100.0,
             "availability_pct": delivered / total * 100.0,
             "degraded_pct": degraded / total * 100.0,
             "retries_per_request": sum(r.retries for r in self.records)
             / total,
             "failed_energy_mj": float(failed_energy_mj),
+            "shed_pct": sheds / total * 100.0,
+            "p50_queue_delay_ms": float(np.percentile(queue_delays, 50)),
+            "p99_queue_delay_ms": float(np.percentile(queue_delays, 99)),
+            "energy_per_delivered_mj": (
+                total_energy_mj / delivered if delivered else 0.0
+            ),
         }
 
     def decisions_by_location(self):
@@ -259,10 +348,18 @@ class TraceRecorder:
         return runs
 
     def estimator_mape_pct(self):
-        """MAPE of the engine's energy estimates over this trace."""
+        """MAPE of the engine's energy estimates over this trace.
+
+        Shed records never executed (measured energy is identically
+        zero) so they carry no estimator information and are excluded;
+        a trace with nothing executed yields 0.0.
+        """
         self._require_records()
-        predicted = np.array([r.estimated_energy_mj for r in self.records])
-        measured = np.array([r.energy_mj for r in self.records])
+        executed = [r for r in self.records if r.status != "shed"]
+        if not executed:
+            return 0.0
+        predicted = np.array([r.estimated_energy_mj for r in executed])
+        measured = np.array([r.energy_mj for r in executed])
         return float(np.mean(np.abs(predicted - measured) / measured)
                      * 100.0)
 

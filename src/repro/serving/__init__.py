@@ -1,0 +1,75 @@
+"""Overload-robust serving: the request pipeline in front of the engine.
+
+PR 3 (``repro.faults``) made individual requests resilient to *remote
+faults*; this package makes the service resilient to *load* — the
+complementary failure mode.  Everything runs on the environment's
+virtual clock:
+
+- :mod:`~repro.serving.arrivals` — open-loop arrival generators
+  (seeded Poisson, bursty Markov-modulated, replayable traces) producing
+  timestamped requests per registered use case;
+- :mod:`~repro.serving.queue` — a bounded admission queue with
+  backpressure;
+- :mod:`~repro.serving.shedder` — QoS-derived deadlines and the
+  deadline-aware shedder that rejects provably hopeless work *before*
+  spending energy on it, with a :class:`ShedStats` ledger symmetric to
+  :class:`~repro.faults.FaultStats`;
+- :mod:`~repro.serving.brownout` — graceful degradation tiers (reduced
+  precision, then local-only) stepped with hysteresis under sustained
+  queue pressure, reusing the engine's ``allowed_actions`` masking;
+- :mod:`~repro.serving.pipeline` — the
+  :class:`ServingPipeline` tying it together, with a batched queue
+  drain that coalesces same-``(network, state bin)`` requests into one
+  nominal sweep and one Q-table row read.
+
+``ServingConfig.disabled()`` reproduces the direct
+:meth:`~repro.core.service.AutoScaleService.handle` path bit-for-bit.
+See ``docs/robustness.md`` ("Overload & load shedding").
+"""
+
+from repro.serving.arrivals import (
+    Arrival,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    merge_arrivals,
+)
+from repro.serving.brownout import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutTier,
+)
+from repro.serving.queue import AdmissionQueue, QueuedRequest
+from repro.serving.shedder import (
+    DeadlinePolicy,
+    ShedReason,
+    ShedStats,
+    SheddedRequest,
+    min_feasible_latency_ms,
+)
+from repro.serving.pipeline import (
+    ServedRequest,
+    ServingConfig,
+    ServingPipeline,
+)
+
+__all__ = [
+    "Arrival",
+    "PoissonArrivals",
+    "MarkovModulatedArrivals",
+    "TraceArrivals",
+    "merge_arrivals",
+    "AdmissionQueue",
+    "QueuedRequest",
+    "DeadlinePolicy",
+    "ShedReason",
+    "SheddedRequest",
+    "ShedStats",
+    "min_feasible_latency_ms",
+    "BrownoutTier",
+    "BrownoutConfig",
+    "BrownoutController",
+    "ServedRequest",
+    "ServingConfig",
+    "ServingPipeline",
+]

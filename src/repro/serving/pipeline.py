@@ -1,0 +1,352 @@
+"""The serving pipeline: admission, shedding, brownout, batched drain.
+
+:class:`ServingPipeline` stands in front of one
+:class:`~repro.core.service.AutoScaleService` and replays an open-loop
+arrival stream on the environment's virtual clock:
+
+1. Arrivals due at the current virtual time enter the bounded admission
+   queue (or are shed ``QUEUE_FULL`` under backpressure), carrying a
+   QoS-derived absolute deadline.
+2. Each drain cycle samples **one** observation, lets the brownout
+   controller react to queue depth, and pops a FIFO batch.
+3. Per request, the deadline-aware shedder drops work that already
+   blew its deadline (``EXPIRED``) or provably cannot make it even on
+   the fastest allowed target (``INFEASIBLE``, via the cached nominal
+   sweep) — *before* any energy is spent.
+4. Surviving requests are coalesced by ``(network, state)``: the engine
+   selects once per group (one Q-table row read) and completes each
+   request through :meth:`~repro.core.engine.AutoScale.step_with_action`
+   — execution, reward, and Q update remain per-request, so the
+   learning dynamics match the scalar path exactly.
+
+``ServingConfig.disabled()`` bypasses all of it and reproduces the
+direct :meth:`~repro.core.service.AutoScaleService.handle` path
+bit-for-bit; the enabled pipeline under zero overload (every batch of
+size one, NORMAL tier, nothing shed) is bit-identical too, because the
+shedder and the brownout controller draw no RNG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.contracts import ensure_duration_ms
+from repro.common import ConfigError
+from repro.serving.arrivals import Arrival
+from repro.serving.brownout import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutTier,
+)
+from repro.serving.queue import AdmissionQueue, QueuedRequest
+from repro.serving.shedder import (
+    DeadlinePolicy,
+    ShedReason,
+    ShedStats,
+    SheddedRequest,
+    min_feasible_latency_ms,
+)
+
+__all__ = ["ServingConfig", "ServedRequest", "ServingPipeline"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """What the pipeline does between arrival and engine.
+
+    Attributes:
+        enabled: master switch; :meth:`disabled` reproduces the direct
+            ``handle`` path bit-identically.
+        queue_capacity: admission-queue bound (``None`` = unbounded).
+        deadline: how deadlines derive from QoS targets.
+        shedding: run the deadline-aware shedder (expired + infeasible
+            checks).  Queue-full backpressure is governed by
+            ``queue_capacity`` alone.
+        brownout: the degradation controller's watermarks.
+        batch_max: cap on requests drained per cycle (``None`` = all).
+    """
+
+    enabled: bool = True
+    queue_capacity: Optional[int] = 64
+    deadline: DeadlinePolicy = DeadlinePolicy()
+    shedding: bool = True
+    brownout: BrownoutConfig = BrownoutConfig()
+    batch_max: Optional[int] = None
+
+    def __post_init__(self):
+        if self.batch_max is not None and self.batch_max < 1:
+            raise ConfigError(
+                f"batch_max must be >= 1 (or None), got {self.batch_max}"
+            )
+
+    @classmethod
+    def disabled(cls):
+        """No queue, no shedder, no brownout: the direct path."""
+        return cls(enabled=False)
+
+    @classmethod
+    def fifo(cls):
+        """The naive comparison policy: unbounded FIFO, serve everything
+        in arrival order, never shed, never degrade."""
+        return cls(queue_capacity=None, shedding=False,
+                   brownout=BrownoutConfig.disabled())
+
+    @classmethod
+    def shed_only(cls):
+        """Deadline-aware shedding without brownout degradation."""
+        return cls(brownout=BrownoutConfig.disabled())
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One arrival's final outcome as the pipeline saw it.
+
+    ``outcome`` is an :class:`~repro.env.result.ExecutionResult`, a
+    :class:`~repro.faults.FailedAttempt`, or a
+    :class:`~repro.serving.shedder.SheddedRequest`.
+    """
+
+    arrival: Arrival
+    outcome: object
+    queue_delay_ms: float = 0.0
+    tier: str = "normal"
+
+    def __post_init__(self):
+        ensure_duration_ms(self.queue_delay_ms, "queue_delay_ms")
+
+    @property
+    def shed(self):
+        return getattr(self.outcome, "shed", False)
+
+    @property
+    def failed(self):
+        return getattr(self.outcome, "failed", False)
+
+    @property
+    def delivered(self):
+        return not (self.shed or self.failed)
+
+
+class ServingPipeline:
+    """Drives one service through an open-loop arrival stream."""
+
+    def __init__(self, service, config=None):
+        self.service = service
+        self.config = config if config is not None else ServingConfig()
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.brownout = BrownoutController(self.config.brownout)
+        self.shed_stats = ShedStats()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def serve(self, arrivals):
+        """Replay an arrival stream; returns one outcome per arrival.
+
+        Arrivals are served in ``(at_ms, name)`` order.  Outcomes come
+        back in *completion* order, which under coalescing can differ
+        from arrival order within a drain cycle.
+        """
+        ordered = sorted(arrivals, key=lambda a: (a.at_ms, a.name))
+        if not self.config.enabled:
+            return self._serve_direct(ordered)
+        return self._serve_pipelined(ordered)
+
+    # ------------------------------------------------------------------
+    # Disabled: the historical closed-loop path, bit-for-bit
+    # ------------------------------------------------------------------
+
+    def _serve_direct(self, ordered):
+        env = self.service.environment
+        outcomes: List[ServedRequest] = []
+        for arrival in ordered:
+            self.shed_stats.note_offered()
+            if env.clock.now_ms < arrival.at_ms:
+                env.clock.advance(arrival.at_ms - env.clock.now_ms)
+            wait_ms = max(0.0, env.clock.now_ms - arrival.at_ms)
+            result = self.service.handle(arrival.name)
+            self.shed_stats.note_served()
+            outcomes.append(ServedRequest(arrival, result,
+                                          queue_delay_ms=wait_ms))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Enabled: admit -> shed -> brownout -> coalesced drain
+    # ------------------------------------------------------------------
+
+    def _serve_pipelined(self, ordered):
+        env = self.service.environment
+        outcomes: List[ServedRequest] = []
+        pending = iter(ordered)
+        upcoming = next(pending, None)
+        while True:
+            now_ms = env.clock.now_ms
+            while upcoming is not None and upcoming.at_ms <= now_ms:
+                self._admit(upcoming, now_ms, outcomes)
+                upcoming = next(pending, None)
+            if self.queue.depth == 0:
+                if upcoming is None:
+                    return outcomes
+                # Idle: jump the clock to the next arrival.
+                env.clock.advance(upcoming.at_ms - now_ms)
+                continue
+            self._drain_cycle(outcomes)
+
+    def _admit(self, arrival, now_ms, outcomes):
+        self.shed_stats.note_offered()
+        use_case = self.service.use_case(arrival.name)
+        deadline_ms = self.config.deadline.deadline_ms(
+            arrival.at_ms, use_case.qos_ms
+        )
+        request = QueuedRequest(arrival, use_case, deadline_ms)
+        if not self.queue.admit(request):
+            self._shed(request, ShedReason.QUEUE_FULL, now_ms, outcomes)
+
+    def _shed(self, request, reason, now_ms, outcomes):
+        shed = SheddedRequest(
+            reason=reason,
+            name=request.arrival.name,
+            at_ms=request.arrival.at_ms,
+            shed_at_ms=now_ms,
+            deadline_ms=request.deadline_ms,
+            queue_delay_ms=request.queue_delay_ms(now_ms),
+        )
+        self.shed_stats.note_shed(reason)
+        self.service.trace.record_shed(shed, request.use_case)
+        outcomes.append(ServedRequest(
+            request.arrival, shed,
+            queue_delay_ms=shed.queue_delay_ms,
+            tier=self.brownout.tier.value,
+        ))
+
+    def _drain_cycle(self, outcomes):
+        """One drain: observe once, shed the hopeless, coalesce the rest."""
+        service = self.service
+        env = service.environment
+        engine = service.engine
+        tier = self.brownout.observe_pressure(self.queue.depth)
+        batch = self.queue.take_batch(self.config.batch_max)
+        observation = env.observe()
+        mask = self._combined_mask()
+        browned = self.brownout.tier is not BrownoutTier.NORMAL
+        # One selection per (network, state) group; execution, reward,
+        # and Q update stay per-request via step_with_action.
+        decisions = {}
+        for request in batch:
+            now_ms = env.clock.now_ms
+            use_case = request.use_case
+            if self.config.shedding:
+                if request.remaining_ms(now_ms) < 0:
+                    self._shed(request, ShedReason.EXPIRED, now_ms,
+                               outcomes)
+                    continue
+                sweep = env.estimate_all(use_case.network, observation)
+                floor_ms = min_feasible_latency_ms(sweep, mask)
+                if now_ms + floor_ms > request.deadline_ms:
+                    self._shed(request, ShedReason.INFEASIBLE, now_ms,
+                               outcomes)
+                    continue
+            wait_ms = request.queue_delay_ms(now_ms)
+            if service.resilience.enabled:
+                outcome = self._serve_resilient(use_case, wait_ms, tier)
+            else:
+                state = engine.observe_state(use_case.network, observation)
+                key = (use_case.network.name, state)
+                if key not in decisions:
+                    if browned:
+                        decisions[key] = (self._brownout_action(
+                            use_case, observation, mask), False)
+                    else:
+                        decisions[key] = engine.select_action(state,
+                                                              allowed=mask)
+                action, explored = decisions[key]
+                step = engine.step_with_action(
+                    use_case, action, observation, explored=explored,
+                )
+                service.trace.record_step(
+                    step, use_case, at_ms=env.clock.now_ms,
+                    queue_delay_ms=wait_ms, tier=tier.value,
+                )
+                outcome = step.result
+            self.shed_stats.note_served()
+            outcomes.append(ServedRequest(
+                request.arrival, outcome,
+                queue_delay_ms=wait_ms, tier=tier.value,
+            ))
+
+    def _brownout_action(self, use_case, observation, mask):
+        """Nominal-cost selection for an escalated brownout tier.
+
+        A brownout mask deliberately admits quality-violating actions,
+        and equation (5)'s accuracy-failure branch scores all of those
+        identically — the Q-table has no signal to rank them.  So under
+        an escalated tier the pipeline picks by the nominal cost model
+        instead: the cheapest allowed target whose nominal latency fits
+        the QoS budget (falling back to the cheapest allowed outright).
+        The executed step still feeds the Q update as usual.
+        """
+        env = self.service.environment
+        sweep = env.estimate_all(use_case.network, observation)
+        latencies = np.asarray(sweep.latency_ms)
+        energies = np.asarray(sweep.energy_mj)
+        indices = (np.flatnonzero(np.asarray(mask, dtype=bool))
+                   if mask is not None and np.any(mask)
+                   else np.arange(len(latencies)))
+        fits = indices[latencies[indices] <= use_case.qos_ms]
+        pool = fits if len(fits) else indices
+        return int(pool[np.argmin(energies[pool])])
+
+    def _serve_resilient(self, use_case, wait_ms, tier):
+        """One request through PR 3's retry/breaker/degrade path.
+
+        Retries re-observe between attempts, so coalescing does not
+        apply; the brownout mask composes with the breaker mask inside
+        the retry loop.  The resilient path records its own trace entry,
+        which we re-stamp with the pipeline's queueing columns.
+        """
+        service = self.service
+        outcome = service._handle_resilient(
+            use_case, extra_allowed=self.brownout.mask(
+                service.engine.action_space),
+        )
+        records = service.trace.records
+        records[-1] = dataclasses.replace(
+            records[-1], queue_delay_ms=wait_ms, tier=tier.value,
+        )
+        return outcome
+
+    def _combined_mask(self):
+        """Breaker mask AND brownout mask (``None`` = everything)."""
+        service = self.service
+        space = service.engine.action_space
+        masks = [mask for mask in (service.action_mask(),
+                                   self.brownout.mask(space))
+                 if mask is not None]
+        if not masks:
+            return None
+        combined = masks[0].copy()
+        for mask in masks[1:]:
+            combined &= mask
+        return combined
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self):
+        """Pipeline-level counters (queue, sheds, brownout)."""
+        return {
+            "queue_depth": self.queue.depth,
+            "queue_peak_depth": self.queue.peak_depth,
+            "queue_admitted": self.queue.admitted,
+            "queue_rejected": self.queue.rejected,
+            "brownout_tier": self.brownout.tier.value,
+            "brownout_escalations": self.brownout.escalations,
+            "brownout_deescalations": self.brownout.deescalations,
+            "sheds": self.shed_stats.as_dict(),
+        }

@@ -1,0 +1,96 @@
+"""The bounded admission queue in front of the engine.
+
+Admission control is the first line of overload defence: a queue that
+grows without bound converts a traffic surge into unbounded latency for
+*every* request.  :class:`AdmissionQueue` bounds the backlog — when an
+admit would exceed ``capacity`` the caller gets backpressure (``False``)
+and the request is shed at zero compute cost instead of rotting in line.
+``capacity=None`` disables the bound (the naive-FIFO comparison policy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common import ConfigError
+from repro.serving.arrivals import Arrival
+
+__all__ = ["QueuedRequest", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """An admitted request waiting to be served.
+
+    Attributes:
+        arrival: the originating :class:`~repro.serving.arrivals.Arrival`.
+        use_case: the resolved :class:`~repro.env.qos.UseCase`.
+        deadline_ms: absolute virtual-clock deadline derived from the use
+            case's QoS target (see
+            :class:`~repro.serving.shedder.DeadlinePolicy`).
+    """
+
+    arrival: Arrival
+    use_case: object
+    deadline_ms: float
+
+    def __post_init__(self):
+        if self.deadline_ms < self.arrival.at_ms:
+            raise ConfigError(
+                f"deadline {self.deadline_ms} ms precedes arrival "
+                f"{self.arrival.at_ms} ms"
+            )
+
+    def queue_delay_ms(self, now_ms):
+        """Time this request has spent waiting as of ``now_ms``."""
+        return max(0.0, now_ms - self.arrival.at_ms)
+
+    def remaining_ms(self, now_ms):
+        """Budget left before the deadline (negative once blown)."""
+        return self.deadline_ms - now_ms
+
+
+class AdmissionQueue:
+    """A bounded FIFO of :class:`QueuedRequest` with backpressure."""
+
+    def __init__(self, capacity=64):
+        if capacity is not None and capacity < 1:
+            raise ConfigError(
+                f"queue capacity must be >= 1 (or None), got {capacity}"
+            )
+        self.capacity = capacity
+        self._waiting: "deque[QueuedRequest]" = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self):
+        return len(self._waiting)
+
+    @property
+    def depth(self):
+        """Current backlog size."""
+        return len(self._waiting)
+
+    @property
+    def bounded(self):
+        return self.capacity is not None
+
+    def admit(self, request):
+        """Append a request; ``False`` means backpressure (queue full)."""
+        if self.bounded and len(self._waiting) >= self.capacity:
+            self.rejected += 1
+            return False
+        self._waiting.append(request)
+        self.admitted += 1
+        self.peak_depth = max(self.peak_depth, len(self._waiting))
+        return True
+
+    def take_batch(self, limit=None):
+        """Pop up to ``limit`` requests in FIFO order (all when None)."""
+        if limit is not None and limit < 1:
+            raise ConfigError(f"batch limit must be >= 1, got {limit}")
+        count = len(self._waiting) if limit is None \
+            else min(limit, len(self._waiting))
+        return [self._waiting.popleft() for _ in range(count)]

@@ -55,3 +55,12 @@ def test_faults_package_enters_with_zero_allowlist_entries():
     assert report.files_checked == 5
     assert report.ok, "\n" + report.format()
     assert not report.suppressed
+
+
+def test_serving_package_enters_with_zero_allowlist_entries():
+    """The overload-robust serving pipeline is likewise born clean:
+    every module passes every rule with the allowlist disabled."""
+    report = lint_paths([SRC / "serving"], allowlist=False)
+    assert report.files_checked == 6
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed

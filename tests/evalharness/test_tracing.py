@@ -73,9 +73,34 @@ class TestAnalysis:
         recorder, _ = traced
         assert 0.0 <= recorder.estimator_mape_pct() < 50.0
 
-    def test_empty_trace_rejected(self):
+    def test_empty_trace_summary_is_all_zeros(self):
+        # Regression: summary() used to divide by len(records); a
+        # monitoring endpoint polling an idle service must get zeros,
+        # not a crash.
+        summary = TraceRecorder().summary()
+        assert summary["num_inferences"] == 0
+        assert all(value == 0.0 for key, value in summary.items()
+                   if key != "num_inferences")
+
+    def test_all_failed_trace_keeps_rates_finite(self):
+        from repro.evalharness.tracing import TraceRecord
+        recorder = TraceRecorder()
+        for index in range(3):
+            recorder.records.append(TraceRecord(
+                index=index, at_ms=float(index), use_case="svc",
+                target_key="cloud/gpu/fp32", latency_ms=10.0,
+                energy_mj=5.0, estimated_energy_mj=5.0,
+                accuracy_pct=75.0, qos_ms=100.0, status="failed",
+            ))
+        summary = recorder.summary()
+        assert summary["availability_pct"] == 0.0
+        assert summary["qos_violation_pct"] == 100.0
+        assert summary["energy_per_delivered_mj"] == 0.0
+        assert summary["failed_energy_mj"] == pytest.approx(15.0)
+
+    def test_other_analyses_still_reject_empty_traces(self):
         with pytest.raises(ConfigError):
-            TraceRecorder().summary()
+            TraceRecorder().decisions_by_location()
 
 
 class TestPersistence:

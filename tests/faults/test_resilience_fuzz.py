@@ -1,0 +1,100 @@
+"""Seeded fuzz tests for the resilience primitives.
+
+The backoff schedule and the breaker state machine guard the serving
+path under failure; a single bad sample (a negative delay, a breaker
+that leaks traffic mid-cooldown) would corrupt the virtual clock or
+defeat the isolation.  These tests sweep a thousand seeds so the
+properties hold across the RNG space, not just at the seeds the unit
+tests happen to use.
+"""
+
+from repro.common import make_rng
+from repro.faults import CircuitBreaker, ResiliencePolicy
+from repro.faults.breaker import BreakerConfig, BreakerState
+
+N_SEEDS = 1_000
+
+
+class TestBackoffFuzz:
+    def test_delays_bounded_and_non_negative_across_seeds(self):
+        policy = ResiliencePolicy(backoff_base_ms=25.0,
+                                  backoff_cap_ms=400.0,
+                                  backoff_jitter=0.5)
+        for seed in range(N_SEEDS):
+            rng = make_rng(seed)
+            for retry_index in range(6):
+                delay_ms = policy.backoff_ms(retry_index, rng)
+                assert 0.0 <= delay_ms <= policy.backoff_cap_ms
+
+    def test_jitter_stays_inside_its_band_across_seeds(self):
+        """With jitter ``j`` the sampled delay must land in
+        ``[(1 - j) * full, full]`` where ``full`` is the deterministic
+        exponential schedule — jitter only ever shortens a delay."""
+        policy = ResiliencePolicy(backoff_base_ms=20.0,
+                                  backoff_cap_ms=320.0,
+                                  backoff_jitter=0.3)
+        for seed in range(N_SEEDS):
+            rng = make_rng(seed)
+            for retry_index in range(5):
+                full_ms = min(policy.backoff_cap_ms,
+                              policy.backoff_base_ms * 2.0 ** retry_index)
+                delay_ms = policy.backoff_ms(retry_index, rng)
+                assert (1.0 - policy.backoff_jitter) * full_ms \
+                    <= delay_ms <= full_ms
+
+    def test_zero_jitter_is_exactly_exponential_across_seeds(self):
+        policy = ResiliencePolicy(backoff_base_ms=10.0,
+                                  backoff_cap_ms=80.0,
+                                  backoff_jitter=0.0)
+        expected = [10.0, 20.0, 40.0, 80.0, 80.0]
+        for seed in range(0, N_SEEDS, 50):
+            rng = make_rng(seed)
+            assert [policy.backoff_ms(i, rng) for i in range(5)] \
+                == expected
+
+
+class TestBreakerFuzz:
+    def test_open_breaker_never_leaks_before_cooldown(self):
+        """Fuzz the event sequence: whatever mix of failures, successes,
+        and probes a seed generates, an OPEN breaker must reject every
+        attempt until its cooldown has fully elapsed."""
+        config = BreakerConfig(failure_threshold=3, cooldown_ms=2_000.0)
+        for seed in range(N_SEEDS):
+            rng = make_rng(seed)
+            breaker = CircuitBreaker(config)
+            now_ms = 0.0
+            for _ in range(40):
+                now_ms += float(rng.uniform(1.0, 900.0))
+                opened_at_ms = breaker.opened_at_ms
+                was_open = breaker.state is BreakerState.OPEN
+                allowed = breaker.allows(now_ms)
+                if was_open and now_ms - opened_at_ms \
+                        < config.cooldown_ms:
+                    assert not allowed, (
+                        f"seed {seed}: OPEN breaker admitted traffic "
+                        f"{now_ms - opened_at_ms:.0f} ms into a "
+                        f"{config.cooldown_ms:.0f} ms cooldown"
+                    )
+                if allowed:
+                    if rng.random() < 0.5:
+                        breaker.record_failure(now_ms)
+                    else:
+                        breaker.record_success(now_ms)
+
+    def test_cooldown_expiry_admits_exactly_one_probe_state(self):
+        """After the cooldown the first attempt transitions the breaker
+        to HALF_OPEN (never straight to CLOSED) across seeds."""
+        config = BreakerConfig(failure_threshold=1, cooldown_ms=500.0)
+        for seed in range(0, N_SEEDS, 10):
+            rng = make_rng(seed)
+            breaker = CircuitBreaker(config)
+            open_at_ms = float(rng.uniform(0.0, 1_000.0))
+            breaker.record_failure(open_at_ms)
+            assert breaker.state is BreakerState.OPEN
+            # A 0.01 ms guard band keeps float rounding of
+            # ``open_at + cooldown`` out of the property.
+            assert not breaker.allows(
+                open_at_ms + config.cooldown_ms - 0.01)
+            assert breaker.allows(
+                open_at_ms + config.cooldown_ms + 0.01)
+            assert breaker.state is BreakerState.HALF_OPEN

@@ -1,0 +1,103 @@
+"""Tests for the open-loop arrival generators."""
+
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.serving.arrivals import (
+    Arrival,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    merge_arrivals,
+)
+
+
+def _sorted_by_time(arrivals):
+    return all(a.at_ms <= b.at_ms for a, b in zip(arrivals, arrivals[1:]))
+
+
+class TestArrival:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Arrival(-1.0, "svc")
+        with pytest.raises(ConfigError):
+            Arrival(float("nan"), "svc")
+        with pytest.raises(ConfigError):
+            Arrival(0.0, "")
+
+
+class TestPoisson:
+    def test_seeded_stream_is_reproducible(self):
+        process = PoissonArrivals("svc", arrivals_per_s=5.0)
+        first = process.generate(10_000.0, make_rng(7))
+        second = process.generate(10_000.0, make_rng(7))
+        assert first == second
+
+    def test_sorted_and_inside_window(self):
+        arrivals = PoissonArrivals("svc", arrivals_per_s=5.0) \
+            .generate(10_000.0, make_rng(7))
+        assert _sorted_by_time(arrivals)
+        assert all(0.0 <= a.at_ms < 10_000.0 for a in arrivals)
+        assert all(a.name == "svc" for a in arrivals)
+
+    def test_count_tracks_intensity(self):
+        # 5/s over 10 s => ~50 arrivals; a loose 2x band keeps this
+        # seed-robust while catching unit errors (s vs ms).
+        arrivals = PoissonArrivals("svc", arrivals_per_s=5.0) \
+            .generate(10_000.0, make_rng(7))
+        assert 25 <= len(arrivals) <= 100
+
+    def test_intensity_validated(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals("svc", arrivals_per_s=0.0)
+
+
+class TestMarkovModulated:
+    def test_seeded_stream_is_reproducible(self):
+        process = MarkovModulatedArrivals("svc", calm_per_s=2.0,
+                                          burst_per_s=40.0)
+        assert process.generate(30_000.0, make_rng(3)) \
+            == process.generate(30_000.0, make_rng(3))
+
+    def test_sorted_and_inside_window(self):
+        arrivals = MarkovModulatedArrivals("svc").generate(
+            30_000.0, make_rng(3))
+        assert _sorted_by_time(arrivals)
+        assert all(0.0 <= a.at_ms < 30_000.0 for a in arrivals)
+
+    def test_bursts_raise_the_mean_intensity(self):
+        calm = PoissonArrivals("svc", arrivals_per_s=2.0) \
+            .generate(60_000.0, make_rng(3))
+        bursty = MarkovModulatedArrivals(
+            "svc", calm_per_s=2.0, burst_per_s=50.0,
+            calm_dwell_ms=5_000.0, burst_dwell_ms=5_000.0,
+        ).generate(60_000.0, make_rng(3))
+        assert len(bursty) > len(calm)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MarkovModulatedArrivals("svc", calm_per_s=0.0)
+        with pytest.raises(ConfigError):
+            MarkovModulatedArrivals("svc", burst_dwell_ms=0.0)
+
+
+class TestTrace:
+    def test_replays_sorted_window_subset(self):
+        trace = TraceArrivals(((50.0, "b"), (10.0, "a"),
+                               Arrival(2_000.0, "c")))
+        arrivals = trace.generate(1_000.0)
+        assert arrivals == [Arrival(10.0, "a"), Arrival(50.0, "b")]
+
+    def test_deterministic_without_rng(self):
+        trace = TraceArrivals(((1.0, "a"),))
+        assert trace.generate(10.0) == trace.generate(10.0, make_rng(0))
+
+
+class TestMerge:
+    def test_time_ordered_with_name_tiebreak(self):
+        merged = merge_arrivals(
+            [Arrival(5.0, "b"), Arrival(9.0, "b")],
+            [Arrival(5.0, "a"), Arrival(1.0, "a")],
+        )
+        assert merged == [Arrival(1.0, "a"), Arrival(5.0, "a"),
+                          Arrival(5.0, "b"), Arrival(9.0, "b")]

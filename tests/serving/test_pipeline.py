@@ -1,0 +1,255 @@
+"""Tests for the serving pipeline: parity, shedding, brownout, accounting.
+
+The two parity properties here are the load-bearing ones:
+
+- ``ServingConfig.disabled()`` reproduces the direct ``handle`` path
+  bit-for-bit (same measurements, same learned table);
+- the enabled pipeline under zero overload is *also* bit-identical,
+  because the shedder and brownout controller draw no RNG and a
+  batch of one coalesces to the scalar path.
+"""
+
+import pytest
+
+from repro.common import make_rng
+from repro.core.service import AutoScaleService
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import UseCase, use_case_for
+from repro.hardware.devices import build_device
+from repro.serving.arrivals import Arrival, PoissonArrivals, TraceArrivals
+from repro.serving.brownout import BrownoutConfig
+from repro.serving.pipeline import ServingConfig, ServingPipeline
+from repro.serving.shedder import DeadlinePolicy
+
+
+def _service(seed, think_time_ms=0.0):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=seed, think_time_ms=think_time_ms)
+    return AutoScaleService(env, seed=seed)
+
+
+def _measurements(outcome):
+    return (outcome.latency_ms, outcome.energy_mj,
+            outcome.estimated_energy_mj, outcome.target_key)
+
+
+class TestConfig:
+    def test_presets(self):
+        assert not ServingConfig.disabled().enabled
+        fifo = ServingConfig.fifo()
+        assert fifo.queue_capacity is None
+        assert not fifo.shedding
+        assert not fifo.brownout.enabled
+        assert not ServingConfig.shed_only().brownout.enabled
+
+    def test_batch_max_validated(self):
+        from repro.common import ConfigError
+        with pytest.raises(ConfigError):
+            ServingConfig(batch_max=0)
+
+
+class TestDisabledBitIdentity:
+    def test_disabled_pipeline_matches_direct_handle(self, zoo):
+        """Acceptance: over a seeded 300-request workload the disabled
+        pipeline must be indistinguishable from advancing the clock and
+        calling ``handle`` directly — measurements and learned table."""
+        case = use_case_for(zoo["resnet_50"])
+        arrivals = PoissonArrivals(case.name, arrivals_per_s=5.0) \
+            .generate(60_000.0, make_rng(11))
+        assert len(arrivals) >= 250
+
+        piped = _service(31)
+        piped.register(case)
+        outcomes = piped.serve(arrivals, ServingConfig.disabled())
+
+        direct = _service(31)
+        direct.register(case)
+        env = direct.environment
+        references = []
+        for arrival in arrivals:
+            if env.clock.now_ms < arrival.at_ms:
+                env.clock.advance(arrival.at_ms - env.clock.now_ms)
+            references.append(direct.handle(case.name))
+
+        assert len(outcomes) == len(arrivals)
+        for served, reference in zip(outcomes, references):
+            assert _measurements(served.outcome) \
+                == _measurements(reference)
+        assert (piped.engine.qtable.values
+                == direct.engine.qtable.values).all()
+
+    def test_disabled_pipeline_keeps_closed_loop_think_time(self, zoo):
+        """The disabled path must not silently change the environment's
+        clock behaviour — think time stays whatever the env was built
+        with."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(7, think_time_ms=150.0)
+        service.register(case)
+        service.serve([Arrival(0.0, case.name)], ServingConfig.disabled())
+        # One request: latency + the 150 ms think time.
+        record = service.trace.records[-1]
+        assert service.environment.clock.now_ms \
+            == pytest.approx(record.latency_ms + 150.0)
+
+
+class TestZeroOverloadBitIdentity:
+    def test_enabled_pipeline_is_bit_identical_when_unstressed(self, zoo):
+        """Acceptance: with arrivals so sparse every batch has size one
+        and nothing sheds or browns out, the *full* pipeline reproduces
+        the direct path bit-for-bit — the machinery is provably inert
+        until overload actually happens."""
+        case = use_case_for(zoo["resnet_50"])
+        arrivals = [Arrival(20_000.0 * index, case.name)
+                    for index in range(40)]
+
+        piped = _service(13)
+        piped.register(case)
+        pipeline = ServingPipeline(piped, ServingConfig())
+        outcomes = pipeline.serve(arrivals)
+
+        direct = _service(13)
+        direct.register(case)
+        env = direct.environment
+        references = []
+        for arrival in arrivals:
+            if env.clock.now_ms < arrival.at_ms:
+                env.clock.advance(arrival.at_ms - env.clock.now_ms)
+            references.append(direct.handle(case.name))
+
+        assert pipeline.shed_stats.total_sheds == 0
+        assert pipeline.status()["brownout_escalations"] == 0
+        for served, reference in zip(outcomes, references):
+            assert served.delivered
+            assert _measurements(served.outcome) \
+                == _measurements(reference)
+        assert (piped.engine.qtable.values
+                == direct.engine.qtable.values).all()
+
+
+class TestCoalescingParity:
+    def test_one_selection_per_group_matches_per_request(self, zoo):
+        """Acceptance: coalesced batch decisions must equal what
+        per-request selection would have chosen.  With a frozen engine
+        selection is deterministic, so the ten requests of one drain
+        cycle must all get the single group decision — and that decision
+        must match a twin engine selecting once per request."""
+        case = use_case_for(zoo["resnet_50"])
+        arrivals = [Arrival(0.0, case.name) for _ in range(10)]
+
+        piped = _service(19)
+        piped.set_learning(False)
+        piped.register(case)
+        selections = []
+        inner = piped.engine.select_action
+
+        def counting(state, explore=None, allowed=None):
+            decision = inner(state, explore=explore, allowed=allowed)
+            selections.append(decision)
+            return decision
+
+        piped.engine.select_action = counting
+        config = ServingConfig(queue_capacity=None, shedding=False,
+                               brownout=BrownoutConfig.disabled())
+        outcomes = ServingPipeline(piped, config).serve(arrivals)
+
+        # Coalescing: ten requests, one Q-table read.
+        assert len(selections) == 1
+        assert len(outcomes) == 10
+
+        twin = _service(19)
+        twin.set_learning(False)
+        twin.register(case)
+        twin_env = twin.environment
+        observation = twin_env.observe()
+        state = twin.engine.observe_state(case.network, observation)
+        per_request = [twin.engine.select_action(state)
+                       for _ in range(10)]
+        expected_key = twin.engine.action_space \
+            .target(per_request[0][0]).key
+        assert all(decision == per_request[0]
+                   for decision in per_request)
+        assert all(served.outcome.target_key == expected_key
+                   for served in outcomes)
+
+
+class TestShedding:
+    def test_queue_full_backpressure_sheds_deterministically(self, zoo):
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        config = ServingConfig(queue_capacity=1,
+                               brownout=BrownoutConfig.disabled())
+        pipeline = ServingPipeline(service, config)
+        outcomes = pipeline.serve([Arrival(0.0, case.name)
+                                   for _ in range(3)])
+        sheds = [o for o in outcomes if o.shed]
+        assert len(sheds) == 2
+        assert all(o.outcome.reason.value == "queue_full" for o in sheds)
+        assert pipeline.queue.rejected == 2
+
+    def test_infeasible_work_is_shed_before_spending_energy(self, zoo):
+        """A QoS budget below the fastest nominal latency is provably
+        unservable; the shedder must refuse it at zero energy."""
+        case = UseCase(name="impossible", network=zoo["mobilenet_v3"],
+                       qos_ms=0.01)
+        service = _service(5)
+        service.register(case)
+        pipeline = ServingPipeline(service, ServingConfig())
+        outcomes = pipeline.serve([Arrival(0.0, case.name)])
+        assert outcomes[0].shed
+        assert outcomes[0].outcome.reason.value == "infeasible"
+        assert service.trace.records[-1].status == "shed"
+        assert service.trace.records[-1].energy_mj == 0.0
+
+    def test_overload_burst_partitions_offered_requests(self, zoo):
+        """Under a hopeless burst every offered request is exactly one
+        of served/shed, sheds bill zero energy, and expired deadlines
+        surface as their own reason."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        pipeline = ServingPipeline(service, ServingConfig(
+            brownout=BrownoutConfig.disabled()))
+        burst = TraceArrivals(tuple((0.0, case.name)
+                                    for _ in range(60)))
+        outcomes = pipeline.serve(burst.generate(1_000.0))
+        stats = pipeline.shed_stats
+        assert stats.offered == 60
+        assert stats.served + stats.total_sheds == 60
+        assert stats.sheds.get("expired", 0) > 0
+        assert stats.billed_energy_mj == 0.0
+        assert len(outcomes) == 60
+        shed_records = [r for r in service.trace.records
+                        if r.status == "shed"]
+        assert len(shed_records) == stats.total_sheds
+        assert all(r.energy_mj == 0.0 for r in shed_records)
+
+
+class TestBrownout:
+    def test_sustained_pressure_escalates_and_stamps_tiers(self, zoo):
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        pipeline = ServingPipeline(service, ServingConfig(
+            deadline=DeadlinePolicy(qos_factor=50.0)))
+        pipeline.serve([Arrival(0.0, case.name) for _ in range(30)])
+        status = pipeline.status()
+        assert status["brownout_escalations"] >= 1
+        tiers = {r.tier for r in service.trace.records}
+        assert tiers - {"normal"}, "no record served under a brownout tier"
+
+
+class TestStatus:
+    def test_snapshot_keys(self, zoo):
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        pipeline = ServingPipeline(service, ServingConfig())
+        pipeline.serve([Arrival(0.0, case.name)])
+        status = pipeline.status()
+        for key in ("queue_depth", "queue_peak_depth", "queue_admitted",
+                    "queue_rejected", "brownout_tier",
+                    "brownout_escalations", "brownout_deescalations",
+                    "sheds"):
+            assert key in status
+        assert status["queue_depth"] == 0

@@ -1,0 +1,58 @@
+"""Tests for the bounded admission queue."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.serving.arrivals import Arrival
+from repro.serving.queue import AdmissionQueue, QueuedRequest
+
+
+def _request(at_ms=0.0, deadline_ms=100.0, name="svc"):
+    return QueuedRequest(Arrival(at_ms, name), use_case=None,
+                         deadline_ms=deadline_ms)
+
+
+class TestQueuedRequest:
+    def test_deadline_must_follow_arrival(self):
+        with pytest.raises(ConfigError):
+            _request(at_ms=50.0, deadline_ms=10.0)
+
+    def test_delay_and_remaining_budget(self):
+        request = _request(at_ms=10.0, deadline_ms=110.0)
+        assert request.queue_delay_ms(40.0) == 30.0
+        assert request.queue_delay_ms(5.0) == 0.0  # clock not there yet
+        assert request.remaining_ms(40.0) == 70.0
+        assert request.remaining_ms(200.0) == -90.0
+
+
+class TestAdmissionQueue:
+    def test_backpressure_at_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.admit(_request())
+        assert queue.admit(_request())
+        assert not queue.admit(_request())
+        assert (queue.admitted, queue.rejected) == (2, 1)
+
+    def test_unbounded_never_rejects(self):
+        queue = AdmissionQueue(capacity=None)
+        for _ in range(500):
+            assert queue.admit(_request())
+        assert not queue.bounded
+        assert queue.rejected == 0
+
+    def test_fifo_order_and_peak_depth(self):
+        queue = AdmissionQueue(capacity=8)
+        requests = [_request(at_ms=float(index)) for index in range(5)]
+        for request in requests:
+            queue.admit(request)
+        assert queue.peak_depth == 5
+        assert queue.take_batch(2) == requests[:2]
+        assert queue.take_batch() == requests[2:]
+        assert queue.depth == 0
+        assert queue.peak_depth == 5  # high-water mark sticks
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ConfigError):
+            AdmissionQueue().take_batch(0)

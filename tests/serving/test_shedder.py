@@ -1,0 +1,106 @@
+"""Tests for deadline derivation, shed outcomes, and the shed ledger."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.serving.shedder import (
+    DeadlinePolicy,
+    ShedReason,
+    SheddedRequest,
+    ShedStats,
+    min_feasible_latency_ms,
+)
+
+
+def _shed(reason=ShedReason.EXPIRED, **overrides):
+    fields = dict(reason=reason, name="svc", at_ms=10.0, shed_at_ms=50.0,
+                  deadline_ms=40.0, queue_delay_ms=40.0)
+    fields.update(overrides)
+    return SheddedRequest(**fields)
+
+
+class TestSheddedRequest:
+    def test_bills_zero_everything(self):
+        shed = _shed()
+        assert shed.latency_ms == 0.0
+        assert shed.energy_mj == 0.0
+        assert shed.estimated_energy_mj == 0.0
+        assert shed.accuracy_pct == 0.0
+
+    def test_discriminators_and_target_key(self):
+        shed = _shed(reason=ShedReason.QUEUE_FULL)
+        assert shed.shed and not shed.failed
+        assert shed.target_key == "shed/queue_full"
+        assert not shed.meets_qos(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _shed(shed_at_ms=5.0)  # shed before arrival
+        with pytest.raises(ConfigError):
+            _shed(queue_delay_ms=-1.0)
+
+
+class TestShedStats:
+    def test_partitions_offered_requests(self):
+        stats = ShedStats()
+        for _ in range(10):
+            stats.note_offered()
+        for _ in range(7):
+            stats.note_served()
+        stats.note_shed(ShedReason.EXPIRED)
+        stats.note_shed(ShedReason.EXPIRED)
+        stats.note_shed(ShedReason.INFEASIBLE)
+        assert stats.served + stats.total_sheds == stats.offered
+        assert stats.sheds == {"expired": 2, "infeasible": 1}
+        assert stats.shed_pct() == pytest.approx(30.0)
+
+    def test_sheds_are_free(self):
+        stats = ShedStats()
+        stats.note_shed(ShedReason.QUEUE_FULL)
+        assert stats.billed_energy_mj == 0.0
+        assert stats.as_dict()["billed_energy_mj"] == 0.0
+
+    def test_idle_ledger_reads_zero(self):
+        assert ShedStats().shed_pct() == 0.0
+
+
+class TestDeadlinePolicy:
+    def test_default_is_exactly_the_qos_budget(self):
+        assert DeadlinePolicy().deadline_ms(100.0, 33.0) == 133.0
+
+    def test_factor_and_slack(self):
+        policy = DeadlinePolicy(qos_factor=2.0, slack_ms=10.0)
+        assert policy.deadline_ms(100.0, 33.0) == pytest.approx(176.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeadlinePolicy(qos_factor=0.0)
+        with pytest.raises(ConfigError):
+            DeadlinePolicy(slack_ms=-1.0)
+
+
+class _FakeSweep:
+    def __init__(self, latency_ms):
+        self.latency_ms = np.asarray(latency_ms)
+
+
+class TestFeasibilityFloor:
+    def test_unmasked_minimum(self):
+        assert min_feasible_latency_ms(_FakeSweep([30.0, 10.0, 20.0])) \
+            == 10.0
+
+    def test_mask_restricts_the_floor(self):
+        sweep = _FakeSweep([30.0, 10.0, 20.0])
+        allowed = np.array([True, False, True])
+        assert min_feasible_latency_ms(sweep, allowed) == 20.0
+
+    def test_all_false_mask_means_no_mask(self):
+        sweep = _FakeSweep([30.0, 10.0, 20.0])
+        allowed = np.zeros(3, dtype=bool)
+        assert min_feasible_latency_ms(sweep, allowed) == 10.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            min_feasible_latency_ms(_FakeSweep([1.0, 2.0]),
+                                    np.array([True]))

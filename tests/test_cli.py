@@ -69,6 +69,21 @@ class TestExperimentCommand:
         assert "interference" in text
 
 
+class TestOverloadCommand:
+    def test_surge_table_smoke(self):
+        code, text = run_cli(
+            "overload", "--profile", "surge", "--policy", "shed_brownout",
+            "--duration-ms", "3000", "--warmup", "60",
+        )
+        assert code == 0
+        assert "shed%" in text
+        assert "shed_brownout" in text
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overload", "--policy", "yolo"])
+
+
 class TestAnalysisExperiments:
     def test_pareto_prints_frontier(self):
         code, text = run_cli("experiment", "pareto")
