@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
@@ -25,7 +24,8 @@ from repro.core.qlearning import QLearningConfig, QTable, epsilon_greedy
 from repro.core.reward import RewardConfig, compute_reward
 from repro.core.state import table_i_state_space
 
-__all__ = ["AutoScaleStep", "OverheadStats", "AutoScale"]
+__all__ = ["AutoScaleStep", "BoundedHistory", "OverheadStats",
+           "StreamingSeries", "AutoScale"]
 
 
 @dataclass(frozen=True)
@@ -40,29 +40,134 @@ class AutoScaleStep:
     explored: bool
 
 
+class StreamingSeries:
+    """A per-step timing series with O(1) memory.
+
+    Long training campaigns (paper scale: 100 runs x 8 networks x 9
+    scenarios, multiplied across devices) used to retain every per-step
+    timing float forever.  This accumulator keeps the exact count and
+    sum — so means stay exact — plus a bounded sample for percentiles,
+    thinned *deterministically*: when the sample buffer fills, every
+    other element is dropped and the keep-stride doubles.  No RNG is
+    involved, so instrumented and non-instrumented runs consume
+    identical random streams.
+    """
+
+    __slots__ = ("count", "total", "_capacity", "_stride", "_sample",
+                 "_until_keep")
+
+    def __init__(self, capacity=4096):
+        if capacity < 2:
+            raise ConfigError(
+                f"sample capacity must be >= 2, got {capacity}"
+            )
+        self._capacity = capacity
+        self.clear()
+
+    def append(self, value):
+        # Hot path: called once or twice per Algorithm-1 step.  A
+        # countdown to the next retained sample keeps the common case
+        # to three attribute updates and one branch.
+        self.count += 1
+        self.total += value
+        self._until_keep -= 1
+        if self._until_keep <= 0:
+            if len(self._sample) >= self._capacity:
+                self._sample = self._sample[::2]
+                self._stride *= 2
+            self._sample.append(value)
+            self._until_keep = self._stride
+
+    def clear(self):
+        self.count = 0
+        self.total = 0.0
+        self._stride = 1
+        self._sample = []
+        self._until_keep = 1
+
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """Approximate percentile from the thinned sample (exact until
+        ``count`` exceeds the sample capacity)."""
+        if not self._sample:
+            return 0.0
+        return float(np.percentile(self._sample, q))
+
+    @property
+    def sample(self):
+        """The retained (deterministically thinned) sample values."""
+        return list(self._sample)
+
+    def __len__(self):
+        return self.count
+
+    def __bool__(self):
+        return self.count > 0
+
+    def __iter__(self):
+        return iter(self._sample)
+
+
 @dataclass
 class OverheadStats:
     """Accumulated engine overhead (Section VI-C).
 
     ``select_us`` covers state lookup + action choice (the inference-time
     overhead of a trained table); ``update_us`` additionally covers reward
-    calculation and the Q update (the training-time overhead).
+    calculation and the Q update (the training-time overhead).  Both are
+    :class:`StreamingSeries` — exact count/mean, bounded memory.
     """
 
-    select_us: List[float] = field(default_factory=list)
-    update_us: List[float] = field(default_factory=list)
+    select_us: StreamingSeries = field(default_factory=StreamingSeries)
+    update_us: StreamingSeries = field(default_factory=StreamingSeries)
 
     def mean_select_us(self):
-        return sum(self.select_us) / len(self.select_us) \
-            if self.select_us else 0.0
+        return self.select_us.mean()
 
     def mean_update_us(self):
-        return sum(self.update_us) / len(self.update_us) \
-            if self.update_us else 0.0
+        return self.update_us.mean()
 
     def mean_train_us(self):
         """Full training-path overhead per inference (select + update)."""
         return self.mean_select_us() + self.mean_update_us()
+
+
+class BoundedHistory(list):
+    """A step log with a hard cap on retained entries.
+
+    Every Algorithm-1 cycle appends an :class:`AutoScaleStep` (which
+    holds the full :class:`ExecutionResult`, detail dict included), so
+    unbounded retention dominated memory on paper-scale campaigns.  When
+    the cap is hit the *oldest quarter* is spliced out in one move —
+    amortized O(1) per append — and counted in ``dropped``.  Recent-
+    window consumers (slicing, ``history[-1]``, reward traces) keep the
+    plain-``list`` interface; monotonic consumers should read ``total``.
+    """
+
+    #: Default retention: ~100k steps, comfortably above any single
+    #: protocol in the repo (paper scale trains 900 episodes per case).
+    DEFAULT_MAXLEN = 100_000
+
+    def __init__(self, maxlen=DEFAULT_MAXLEN):
+        super().__init__()
+        if maxlen < 4:
+            raise ConfigError(f"history cap must be >= 4, got {maxlen}")
+        self.maxlen = maxlen
+        self.dropped = 0
+
+    def append(self, item):
+        if len(self) >= self.maxlen:
+            cut = self.maxlen // 4
+            del self[:cut]
+            self.dropped += cut
+        super().append(item)
+
+    @property
+    def total(self):
+        """Monotonic count of every step ever appended."""
+        return len(self) + self.dropped
 
 
 class AutoScale:
@@ -93,7 +198,7 @@ class AutoScale:
         self.overhead = OverheadStats()
         self.convergence = ConvergenceDetector()
         self.training = True
-        self.history: List[AutoScaleStep] = []
+        self.history = BoundedHistory()
 
     # ------------------------------------------------------------------
     # Mode control
@@ -323,6 +428,15 @@ class AutoScale:
     @property
     def converged(self):
         return self.convergence.converged
+
+    @property
+    def total_steps(self):
+        """Monotonic count of Algorithm-1 cycles ever run.
+
+        Unlike ``len(engine.history)`` this survives the history cap —
+        long-lived serving deployments report it as inferences served.
+        """
+        return self.history.total
 
     def memory_footprint_bytes(self):
         """Q-table resident size (Section VI-C reports ~0.4 MB)."""

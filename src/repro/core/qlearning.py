@@ -8,6 +8,7 @@ memory footprint under half a megabyte (Section VI-C).
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -167,14 +168,71 @@ class QTable:
 
     @classmethod
     def load(cls, path, config=QLearningConfig()):
-        """Load a table persisted with :meth:`save`."""
-        data = np.load(path)
-        values = data["values"]
-        table = cls(values.shape[0], values.shape[1], config=config, seed=0)
-        table.values = values.astype(config.dtype)
-        table.update_count = int(data["update_count"])
-        if "visits" in data:
-            table.visits = data["visits"].astype(np.uint32)
+        """Load a table persisted with :meth:`save`.
+
+        The archive is validated before anything is adopted: a missing
+        or truncated file, an archive without the ``values`` /
+        ``update_count`` keys, a non-2-D value table, a visit matrix
+        whose shape disagrees with the values, or arrays whose dtype
+        cannot be represented in ``config.dtype`` all raise
+        :class:`~repro.common.ConfigError` naming the offending path,
+        instead of surfacing a cryptic failure deep inside training.
+        """
+        try:
+            data = np.load(path)
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            raise ConfigError(
+                f"cannot read Q-table archive {path!r}: {error}"
+            ) from error
+        if not hasattr(data, "files"):  # a bare .npy, not an archive
+            raise ConfigError(
+                f"Q-table archive {path!r} is not an .npz archive "
+                f"(got a bare array of shape {getattr(data, 'shape', '?')})"
+            )
+        with data:
+            available = set(data.files)
+            missing = {"values", "update_count"} - available
+            if missing:
+                raise ConfigError(
+                    f"Q-table archive {path!r} is missing required "
+                    f"key(s) {sorted(missing)}; found {sorted(available)}"
+                )
+            values = data["values"]
+            if values.ndim != 2:
+                raise ConfigError(
+                    f"Q-table archive {path!r}: 'values' must be a 2-D "
+                    f"(states x actions) array, got shape {values.shape}"
+                )
+            if not np.issubdtype(values.dtype, np.floating):
+                raise ConfigError(
+                    f"Q-table archive {path!r}: 'values' dtype "
+                    f"{values.dtype} is not a float type"
+                )
+            update_count = data["update_count"]
+            if update_count.size != 1:
+                raise ConfigError(
+                    f"Q-table archive {path!r}: 'update_count' must be "
+                    f"a scalar, got shape {update_count.shape}"
+                )
+            visits = data["visits"] if "visits" in available else None
+            if visits is not None:
+                if visits.shape != values.shape:
+                    raise ConfigError(
+                        f"Q-table archive {path!r}: 'visits' shape "
+                        f"{visits.shape} does not match 'values' shape "
+                        f"{values.shape}"
+                    )
+                if not np.issubdtype(visits.dtype, np.integer):
+                    raise ConfigError(
+                        f"Q-table archive {path!r}: 'visits' dtype "
+                        f"{visits.dtype} is not an integer type"
+                    )
+            table = cls(values.shape[0], values.shape[1], config=config,
+                        seed=0)
+            table.values = values.astype(config.dtype)
+            table.update_count = int(update_count)
+            if visits is not None:
+                table.visits = visits.astype(np.uint32)
         return table
 
     def copy(self):

@@ -266,7 +266,7 @@ class AutoScaleService:
             "services": list(self.services),
             "learning": self.learning,
             "resilience_enabled": self.resilience.enabled,
-            "inferences_served": len(self.engine.history),
+            "inferences_served": self.engine.total_steps,
             "qtable_mb": self.engine.memory_footprint_bytes() / 1e6,
             "converged": self.engine.converged,
             "breakers": self.breaker_states(),

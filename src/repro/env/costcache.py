@@ -40,6 +40,12 @@ from repro.interference.corunner import CoRunnerLoad
 
 __all__ = ["CacheStats", "NominalSweep", "NominalCostEngine"]
 
+#: Bound on the exact nominal-component caches (entries are a few floats
+#: each; 8k entries comfortably cover a full LOO protocol's distinct
+#: (network, target, load) and (network, link, RSSI) combinations while
+#: keeping worst-case growth in dynamic scenarios bounded).
+_EXACT_CACHE_SIZE = 8192
+
 
 def _readonly(values):
     array = np.asarray(values, dtype=float)
@@ -207,8 +213,14 @@ class NominalCostEngine:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.exact_hits = 0
+        self.exact_misses = 0
         self._sweeps: "OrderedDict" = OrderedDict()
         self._network_tables: Dict[str, _NetworkTable] = {}
+        self._exact_local: "OrderedDict" = OrderedDict()
+        self._exact_remote: Dict[Tuple[str, str], float] = {}
+        self._exact_links: "OrderedDict" = OrderedDict()
+        self._layer_terms: Dict[Tuple, np.ndarray] = {}
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -324,6 +336,134 @@ class NominalCostEngine:
         )
 
     # ------------------------------------------------------------------
+    # Exact nominal components (the batched execution path's backbone)
+    # ------------------------------------------------------------------
+    #
+    # Unlike the sweeps below — which are keyed on *discretized*
+    # observations and whose vectorized arithmetic agrees with the scalar
+    # model only to ~1e-9 relative — these caches key on the **exact**
+    # observation values and compute through the very same scalar call
+    # chain the executor uses.  A hit is therefore bit-identical to
+    # recomputation, which is what lets ``execute_batch`` return results
+    # indistinguishable from the scalar ``execute``.  Because they are
+    # pure deterministic functions of the topology, they deliberately
+    # survive ``reset()``/reseeds (a replayed episode would recompute
+    # exactly the same values) and are only dropped when the topology or
+    # the network definitions change (``rebuild`` /
+    # ``invalidate(network_tables=True)``).  That persistence is what
+    # makes fold-level environment reuse in the LOO protocol profitable:
+    # every fold after the first trains against a warm cache.
+
+    def _terms_for(self, host_tag, proc, network, precision):
+        """Per-layer compute terms for every V/F step, as a 2-D table.
+
+        ``terms[layer, vf]`` is the scalar model's per-layer
+        ``compute_ms`` before the slowdown multiply, so the scalar
+        ``network_latency_ms(network, precision, vf, slowdown)`` equals
+        ``sum((terms[:, vf] * slowdown + proc.dispatch_ms).tolist())``
+        **bit-for-bit**: the table is built with element-wise float64
+        ops (each term is the identical IEEE chain the scalar layer walk
+        evaluates), and summing the ``tolist()`` sequence preserves the
+        scalar walk's left-to-right accumulation order.  One table build
+        replaces ``num_vf_steps`` full layer walks.
+        """
+        key = (host_tag, proc.kind, network.name, precision)
+        terms = self._layer_terms.get(key)
+        if terms is None:
+            macs = np.array([layer.macs for layer in network.layers],
+                            dtype=np.float64)
+            efficiency = np.array(
+                [proc.layer_efficiency.get(layer.kind, 0.5)
+                 for layer in network.layers], dtype=np.float64)
+            throughput = np.array(
+                [proc.throughput_gmacs(precision, vf)
+                 for vf in range(proc.num_vf_steps)], dtype=np.float64)
+            terms = ((macs / 1e9)[:, None]
+                     / (throughput[None, :] * efficiency[:, None])
+                     * 1000.0)
+            self._layer_terms[key] = terms
+        return terms
+
+    def local_nominal(self, network, target, observation):
+        """``(proc, nominal_ms, slowdown)`` for one local target.
+
+        Bit-identical to what :func:`~repro.env.executor.local_execution`
+        computes inline; keyed on the exact co-runner load.
+        """
+        key = (network.name, target.key,
+               observation.cpu_util, observation.mem_util)
+        entry = self._exact_local.get(key)
+        if entry is not None:
+            self.exact_hits += 1
+            self._exact_local.move_to_end(key)
+            return entry
+        self.exact_misses += 1
+        env = self._environment
+        proc = env.device.soc.processor(target.role)
+        load = CoRunnerLoad(cpu_util=observation.cpu_util,
+                            mem_util=observation.mem_util)
+        slowdown = env.interference.slowdown(proc.kind, load)
+        terms = self._terms_for("local", proc, network, target.precision)
+        nominal_ms = sum(
+            (terms[:, target.vf_index] * slowdown
+             + proc.dispatch_ms).tolist()
+        )
+        entry = (proc, nominal_ms, slowdown)
+        self._exact_local[key] = entry
+        if len(self._exact_local) > _EXACT_CACHE_SIZE:
+            self._exact_local.popitem(last=False)
+        return entry
+
+    def remote_nominal_ms(self, network, target):
+        """The remote processor's load-independent compute nominal."""
+        key = (network.name, target.key)
+        nominal_ms = self._exact_remote.get(key)
+        if nominal_ms is not None:
+            self.exact_hits += 1
+            return nominal_ms
+        self.exact_misses += 1
+        env = self._environment
+        remote = env.cloud if target.location is Location.CLOUD \
+            else env.connected
+        host_tag = "cloud" if target.location is Location.CLOUD else "edge"
+        remote_proc = remote.soc.processor(target.role)
+        terms = self._terms_for(host_tag, remote_proc, network,
+                                target.precision)
+        # Scalar default: last V/F step, slowdown 1.0 (an exact no-op).
+        nominal_ms = sum(
+            (terms[:, -1] * 1.0 + remote_proc.dispatch_ms).tolist()
+        )
+        self._exact_remote[key] = nominal_ms
+        return nominal_ms
+
+    def link_nominal(self, network, target, rssi_dbm):
+        """``(tx_base_ms, rx_base_ms, rtt_base_ms)`` for one link/RSSI.
+
+        The load- and noise-free transfer times of the scalar remote
+        path, keyed on the exact RSSI (the link is implied by the
+        target's location).
+        """
+        is_cloud = target.location is Location.CLOUD
+        key = (network.name, is_cloud, rssi_dbm)
+        entry = self._exact_links.get(key)
+        if entry is not None:
+            self.exact_hits += 1
+            self._exact_links.move_to_end(key)
+            return entry
+        self.exact_misses += 1
+        env = self._environment
+        link = env.wifi if is_cloud else env.p2p
+        entry = (
+            link.transfer_ms(network.input_bytes, rssi_dbm),
+            link.transfer_ms(network.output_bytes, rssi_dbm),
+            link.effective_rtt_ms(rssi_dbm),
+        )
+        self._exact_links[key] = entry
+        if len(self._exact_links) > _EXACT_CACHE_SIZE:
+            self._exact_links.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------
     # Sweeps
     # ------------------------------------------------------------------
 
@@ -430,11 +570,18 @@ class NominalCostEngine:
 
         The environment calls this on scenario swaps and reseeds; pass
         ``network_tables=True`` when the network *definitions* may have
-        changed (a different zoo build reusing a name).
+        changed (a different zoo build reusing a name).  The exact
+        nominal-component caches are value-keyed and deterministic, so a
+        plain reseed keeps them; only ``network_tables=True`` (and
+        :meth:`rebuild`) drops them too.
         """
         self._sweeps.clear()
         if network_tables:
             self._network_tables.clear()
+            self._exact_local.clear()
+            self._exact_remote.clear()
+            self._exact_links.clear()
+            self._layer_terms.clear()
 
     def stats(self):
         """Current :class:`CacheStats` snapshot."""

@@ -20,12 +20,15 @@ against:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 
 from repro.common import ConfigError, Stopwatch, make_rng
 from repro.env.costcache import NominalCostEngine
 from repro.env.executor import (
     NoiseConfig,
+    finish_local_execution,
+    finish_remote_execution,
+    jitter_plan,
     local_execution,
     partitioned_execution,
     pipelined_local_execution,
@@ -145,6 +148,16 @@ class EdgeCloudEnvironment:
         """Cumulative injected-fault counters and billed energy."""
         return self._fault_injector.stats
 
+    @property
+    def faults_active(self):
+        """True when the fault plan can alter remote attempts.
+
+        The batched execution path checks this: active faults draw from
+        the RNG stream data-dependently, so batching falls back to the
+        scalar :meth:`execute` whenever this is set.
+        """
+        return self._fault_injector.active
+
     # ------------------------------------------------------------------
     # Action space and observations
     # ------------------------------------------------------------------
@@ -231,6 +244,132 @@ class EdgeCloudEnvironment:
             )
         self.clock.advance(result.latency_ms + self.think_time_ms)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched execution (cached nominals + vectorized jitter draws)
+    # ------------------------------------------------------------------
+
+    def _jitter_plans(self):
+        """Per-location jitter plans for the current noise config."""
+        plans = getattr(self, "_jitter_plan_cache", None)
+        if plans is None or plans[0] is not self.noise:
+            plans = (self.noise, jitter_plan(self.noise, False),
+                     jitter_plan(self.noise, True))
+            self._jitter_plan_cache = plans
+        return plans
+
+    def _finish_cached(self, network, target, observation, jitters):
+        """Complete one request from cached nominals + drawn jitters."""
+        engine = self._cost_engine
+        if target.location is Location.LOCAL:
+            proc, nominal_ms, slowdown = engine.local_nominal(
+                network, target, observation
+            )
+            return finish_local_execution(
+                self.device, proc, network, target, observation,
+                self.accuracy, nominal_ms, slowdown,
+                jitters[0], jitters[1],
+            )
+        _, link = self._remote_setup(target)
+        rssi_dbm = self._rssi_for(target, observation)
+        remote_nominal_ms = engine.remote_nominal_ms(network, target)
+        tx_base_ms, rx_base_ms, rtt_base_ms = engine.link_nominal(
+            network, target, rssi_dbm
+        )
+        tx_slow = self.interference.transmission_slowdown(observation)
+        return finish_remote_execution(
+            self.device, network, target, link, rssi_dbm, self.accuracy,
+            remote_nominal_ms, tx_base_ms, rx_base_ms, rtt_base_ms,
+            tx_slow, jitters,
+        )
+
+    def execute_cached(self, network, target, observation):
+        """One inference through the cached-nominal (batched) path.
+
+        Bit-identical to :meth:`execute` with an explicit observation —
+        same RNG draws, same result, same clock advance — but reads the
+        expensive nominal components (layer-walk latency, link transfer
+        times) from the exact cache instead of recomputing them.  Falls
+        back to :meth:`execute` while the fault plan is active (faults
+        consume the RNG stream data-dependently).
+        """
+        if self._fault_injector.active:
+            return self.execute(network, target, observation)
+        _, local_plan, remote_plan = self._jitter_plans()
+        positive_sigmas, draw_flags = (remote_plan if target.is_remote
+                                       else local_plan)
+        if positive_sigmas:
+            draws = self.rng.normal(0.0, positive_sigmas)
+        else:
+            draws = ()
+        jitters = []
+        cursor = 0
+        for has_draw in draw_flags:
+            if has_draw:
+                jitters.append(math.exp(draws[cursor]))
+                cursor += 1
+            else:
+                jitters.append(1.0)
+        result = self._finish_cached(network, target, observation, jitters)
+        self.clock.advance(result.latency_ms + self.think_time_ms)
+        return result
+
+    def execute_batch(self, network, targets, observations):
+        """Execute a chunk of inferences with vectorized jitter draws.
+
+        Per-request draw order (the parity contract with the scalar
+        path): requests consume the environment RNG in sequence; request
+        ``i`` draws its jitters in the scalar order — local targets
+        ``(latency, power)``, remote targets ``(server, tx, rx, rtt,
+        power)`` — skipping any zero-sigma slot exactly as the scalar
+        ``_jitter`` does.  All of the chunk's positive sigmas are drawn
+        in a **single** ``rng.normal(0.0, sigmas)`` call; NumPy's
+        ``Generator`` fills the array element-wise from the same stream,
+        so the draws (and the bit-generator state afterwards) are
+        bit-identical to scalar per-request draws.
+
+        Nominal components come from the exact value-keyed caches, and
+        the finishing arithmetic is shared with the scalar executor, so
+        the returned :class:`ExecutionResult`\\ s and the clock advances
+        are bit-identical to calling :meth:`execute` per request with
+        the same ``observation``.
+
+        With an active fault plan the whole chunk falls back to scalar
+        :meth:`execute` calls (fault sampling interleaves data-dependent
+        draws that cannot be batched).
+        """
+        if len(targets) != len(observations):
+            raise ConfigError(
+                f"execute_batch got {len(targets)} targets for "
+                f"{len(observations)} observations"
+            )
+        if self._fault_injector.active:
+            return [self.execute(network, target, observation)
+                    for target, observation in zip(targets, observations)]
+        _, local_plan, remote_plan = self._jitter_plans()
+        chunk_sigmas = []
+        for target in targets:
+            positive_sigmas, _ = (remote_plan if target.is_remote
+                                  else local_plan)
+            chunk_sigmas.extend(positive_sigmas)
+        draws = self.rng.normal(0.0, chunk_sigmas) if chunk_sigmas else ()
+        cursor = 0
+        results = []
+        for target, observation in zip(targets, observations):
+            _, draw_flags = (remote_plan if target.is_remote
+                             else local_plan)
+            jitters = []
+            for has_draw in draw_flags:
+                if has_draw:
+                    jitters.append(math.exp(draws[cursor]))
+                    cursor += 1
+                else:
+                    jitters.append(1.0)
+            result = self._finish_cached(network, target, observation,
+                                         jitters)
+            self.clock.advance(result.latency_ms + self.think_time_ms)
+            results.append(result)
+        return results
 
     def estimate(self, network, target, observation):
         """Deterministic nominal model: no noise, no clock advance."""

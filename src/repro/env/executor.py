@@ -39,6 +39,9 @@ from repro.wireless.energy import transmission_energy_mj
 
 __all__ = [
     "NoiseConfig",
+    "jitter_plan",
+    "finish_local_execution",
+    "finish_remote_execution",
     "local_execution",
     "remote_execution",
     "partitioned_execution",
@@ -74,6 +77,32 @@ def _jitter(rng, sigma):
     return float(math.exp(rng.normal(0.0, sigma)))
 
 
+def jitter_plan(noise, is_remote):
+    """The scalar path's jitter-draw order for one request, as data.
+
+    Returns ``(positive_sigmas, draw_flags)``: the sigmas that actually
+    consume an RNG draw (in draw order) and, aligned with the *full*
+    jitter sequence, whether each slot draws.  The sequences mirror
+    :func:`local_execution` / :func:`remote_execution` exactly:
+
+    - local:  ``(latency_sigma, power_sigma)`` — 2 slots;
+    - remote: ``(server_sigma, network_sigma x3 [tx, rx, rtt],
+      power_sigma)`` — 5 slots.
+
+    A zero sigma draws nothing (matching :func:`_jitter`), which is why
+    the flags are needed: the batched path must skip exactly the slots
+    the scalar path skips to consume the RNG stream identically.
+    """
+    if is_remote:
+        sigmas = (noise.server_sigma, noise.network_sigma,
+                  noise.network_sigma, noise.network_sigma,
+                  noise.power_sigma)
+    else:
+        sigmas = (noise.latency_sigma, noise.power_sigma)
+    return ([sigma for sigma in sigmas if sigma > 0.0],
+            tuple(sigma > 0.0 for sigma in sigmas))
+
+
 def _contention_power_factor(load):
     """Busy-power surcharge from co-runner bus/DRAM traffic (truth only)."""
     return 1.0 + 0.10 * load.mem_util + 0.05 * load.cpu_util
@@ -96,24 +125,27 @@ def _host_overheads_mj(device, latency_ms, role):
     return energy_mj
 
 
-def local_execution(device, network, target, load, interference,
-                    accuracy_table, rng=None, noise=NoiseConfig()):
-    """Run an inference entirely on one of the device's processors."""
-    if target.location is not Location.LOCAL:
-        raise ConfigError(f"{target} is not a local target")
-    proc = device.soc.processor(target.role)
-    slowdown = interference.slowdown(proc.kind, load)
-    nominal_ms = proc.network_latency_ms(
-        network, target.precision, target.vf_index, slowdown
-    )
-    latency_ms = nominal_ms * _jitter(rng, noise.latency_sigma)
+def finish_local_execution(device, proc, network, target, load,
+                           accuracy_table, nominal_ms, slowdown,
+                           lat_jitter, pwr_jitter):
+    """Complete a local execution from its nominal components + jitters.
 
+    The arithmetic here is the *single source of truth* shared by the
+    scalar path (:func:`local_execution`, which computes the nominal and
+    draws the jitters itself) and the batched path
+    (:meth:`EdgeCloudEnvironment.execute_batch`, which reads the nominal
+    from the exact cache and draws the jitters vectorized) — so the two
+    are bit-identical by construction.  ``load`` only feeds the
+    contention power factor, so any object with ``cpu_util``/``mem_util``
+    (a ``CoRunnerLoad`` or an ``Observation``) works.
+    """
+    latency_ms = nominal_ms * lat_jitter
     busy_mj = _processor_energy(proc, latency_ms, target.vf_index)
     overhead_mj = _host_overheads_mj(device, latency_ms, target.role)
     estimate_mj = busy_mj + overhead_mj
     truth_mj = (
         busy_mj * _contention_power_factor(load)
-        * _jitter(rng, noise.power_sigma)
+        * pwr_jitter
         + overhead_mj
     )
     return ExecutionResult(
@@ -126,6 +158,71 @@ def local_execution(device, network, target, load, interference,
             "compute_ms": latency_ms,
             "slowdown": slowdown,
             "busy_mj": busy_mj,
+        },
+    )
+
+
+def local_execution(device, network, target, load, interference,
+                    accuracy_table, rng=None, noise=NoiseConfig()):
+    """Run an inference entirely on one of the device's processors."""
+    if target.location is not Location.LOCAL:
+        raise ConfigError(f"{target} is not a local target")
+    proc = device.soc.processor(target.role)
+    slowdown = interference.slowdown(proc.kind, load)
+    nominal_ms = proc.network_latency_ms(
+        network, target.precision, target.vf_index, slowdown
+    )
+    # Draw order (the batched path's contract): latency, then power.
+    lat_jitter = _jitter(rng, noise.latency_sigma)
+    pwr_jitter = _jitter(rng, noise.power_sigma)
+    return finish_local_execution(
+        device, proc, network, target, load, accuracy_table,
+        nominal_ms, slowdown, lat_jitter, pwr_jitter,
+    )
+
+
+def finish_remote_execution(device, network, target, link, rssi_dbm,
+                            accuracy_table, remote_nominal_ms, tx_base_ms,
+                            rx_base_ms, rtt_base_ms, tx_slow, jitters):
+    """Complete a remote execution from its nominal components + jitters.
+
+    Shared bit-exact arithmetic for the scalar and batched paths (see
+    :func:`finish_local_execution`).  ``jitters`` is the 5-tuple
+    ``(server, tx, rx, rtt, power)`` in the scalar draw order; the
+    ``*_base_ms`` values are the load- and noise-free link/remote
+    nominals the scalar path computes inline.
+    """
+    server_jitter, tx_jitter, rx_jitter, rtt_jitter, pwr_jitter = jitters
+    remote_ms = remote_nominal_ms * server_jitter
+    tx_ms = tx_base_ms * tx_slow * tx_jitter
+    rx_ms = rx_base_ms * tx_slow * rx_jitter
+    rtt_ms = rtt_base_ms * rtt_jitter
+    latency_ms = tx_ms + rtt_ms + remote_ms + rx_ms
+
+    radio = transmission_energy_mj(
+        link, rssi_dbm, network.input_bytes, network.output_bytes,
+        latency_ms, tx_ms=tx_ms, rx_ms=rx_ms,
+    )
+    overhead_mj = platform_energy_mj(
+        device.soc.platform_idle_mw, latency_ms
+    ) + device.soc.cpu.idle_power_mw * latency_ms / 1000.0
+    estimate_mj = radio.radio_energy_mj + overhead_mj
+    truth_mj = (
+        radio.radio_energy_mj * pwr_jitter
+        + overhead_mj
+    )
+    return ExecutionResult(
+        latency_ms=latency_ms,
+        energy_mj=truth_mj,
+        estimated_energy_mj=estimate_mj,
+        accuracy_pct=accuracy_table.lookup(network.name, target.precision),
+        target_key=target.key,
+        detail={
+            "tx_ms": tx_ms,
+            "rx_ms": rx_ms,
+            "rtt_ms": rtt_ms,
+            "remote_ms": remote_ms,
+            "radio_mj": radio.radio_energy_mj,
         },
     )
 
@@ -146,43 +243,24 @@ def remote_execution(device, remote, network, target, link, rssi_dbm,
     tx_slow = (interference.transmission_slowdown(load)
                if interference is not None and load is not None else 1.0)
     remote_proc = remote.soc.processor(target.role)
-    remote_ms = (
-        remote_proc.network_latency_ms(network, target.precision)
-        * _jitter(rng, noise.server_sigma)
+    remote_nominal_ms = remote_proc.network_latency_ms(network,
+                                                       target.precision)
+    tx_base_ms = link.transfer_ms(network.input_bytes, rssi_dbm)
+    rx_base_ms = link.transfer_ms(network.output_bytes, rssi_dbm)
+    rtt_base_ms = link.effective_rtt_ms(rssi_dbm)
+    # Draw order (the batched path's contract): server, tx, rx, rtt,
+    # power.
+    jitters = (
+        _jitter(rng, noise.server_sigma),
+        _jitter(rng, noise.network_sigma),
+        _jitter(rng, noise.network_sigma),
+        _jitter(rng, noise.network_sigma),
+        _jitter(rng, noise.power_sigma),
     )
-    tx_ms = (link.transfer_ms(network.input_bytes, rssi_dbm) * tx_slow
-             * _jitter(rng, noise.network_sigma))
-    rx_ms = (link.transfer_ms(network.output_bytes, rssi_dbm) * tx_slow
-             * _jitter(rng, noise.network_sigma))
-    rtt_ms = (link.effective_rtt_ms(rssi_dbm)
-              * _jitter(rng, noise.network_sigma))
-    latency_ms = tx_ms + rtt_ms + remote_ms + rx_ms
-
-    radio = transmission_energy_mj(
-        link, rssi_dbm, network.input_bytes, network.output_bytes,
-        latency_ms, tx_ms=tx_ms, rx_ms=rx_ms,
-    )
-    overhead_mj = platform_energy_mj(
-        device.soc.platform_idle_mw, latency_ms
-    ) + device.soc.cpu.idle_power_mw * latency_ms / 1000.0
-    estimate_mj = radio.radio_energy_mj + overhead_mj
-    truth_mj = (
-        radio.radio_energy_mj * _jitter(rng, noise.power_sigma)
-        + overhead_mj
-    )
-    return ExecutionResult(
-        latency_ms=latency_ms,
-        energy_mj=truth_mj,
-        estimated_energy_mj=estimate_mj,
-        accuracy_pct=accuracy_table.lookup(network.name, target.precision),
-        target_key=target.key,
-        detail={
-            "tx_ms": tx_ms,
-            "rx_ms": rx_ms,
-            "rtt_ms": rtt_ms,
-            "remote_ms": remote_ms,
-            "radio_mj": radio.radio_energy_mj,
-        },
+    return finish_remote_execution(
+        device, network, target, link, rssi_dbm, accuracy_table,
+        remote_nominal_ms, tx_base_ms, rx_base_ms, rtt_base_ms,
+        tx_slow, jitters,
     )
 
 

@@ -27,6 +27,7 @@ from repro.baselines.static import (
 )
 from repro.common import make_rng
 from repro.core.action import ActionSpace
+from repro.core.batchtrain import BatchTrainer
 from repro.core.engine import AutoScale
 from repro.core.qlearning import QLearningConfig
 from repro.core.transfer import transfer_q_table
@@ -133,11 +134,17 @@ def _run_suite(device_name, network_names, scenarios, config,
         stats_by_sched[scheduler.name] = episodes
 
     # --- AutoScale: leave-one-out across the networks --------------------
+    # One environment serves every fold: each fold re-arms it (fresh RNG
+    # stream, scenario + clock reset) while the exact nominal-component
+    # caches stay warm, so folds after the first skip the layer walks.
     episodes = []
+    loo_env = EdgeCloudEnvironment(build_device(device_name),
+                                   scenario=scenarios[0], seed=seed)
     for test_case in use_cases:
         _, per_scenario = loo_train_and_evaluate(
-            lambda: build_device(device_name), use_cases, test_case,
+            None, use_cases, test_case,
             scenarios=scenarios, config=config, seed=seed,
+            environment=loo_env,
         )
         episodes.extend(per_scenario.values())
     stats_by_sched["autoscale"] = episodes
@@ -242,6 +249,8 @@ def fig12_accuracy_targets(device_name="mi8pro",
     """Fig. 12: AutoScale under different inference-accuracy targets."""
     rows = []
     results = {}
+    loo_env = EdgeCloudEnvironment(build_device(device_name),
+                                   scenario=scenarios[0], seed=seed)
     for accuracy_target in targets:
         use_cases = _use_cases(network_names,
                                accuracy_target=accuracy_target)
@@ -253,9 +262,9 @@ def fig12_accuracy_targets(device_name="mi8pro",
             base_stats = evaluate_scheduler(env, baseline, test_case,
                                             config.eval_runs, scenarios[0])
             _, per_scenario = loo_train_and_evaluate(
-                lambda: build_device(device_name), use_cases, test_case,
+                None, use_cases, test_case,
                 scenarios=scenarios, config=config, seed=seed,
-                oracle=False,
+                oracle=False, environment=loo_env,
             )
             for stats in per_scenario.values():
                 ratios.append(base_stats.mean_energy_mj
@@ -289,10 +298,13 @@ def fig13_decisions(device_names=("mi8pro", "galaxy_s10e", "moto_x_force"),
         shares = {"local": 0, "cloud": 0, "connected": 0}
         opt_shares = {"local": 0, "cloud": 0, "connected": 0}
         matches, checked = 0, 0
+        loo_env = EdgeCloudEnvironment(build_device(device_name),
+                                       scenario=scenarios[0], seed=seed)
         for test_case in use_cases:
             _, per_scenario = loo_train_and_evaluate(
-                lambda: build_device(device_name), use_cases, test_case,
+                None, use_cases, test_case,
                 scenarios=scenarios, config=config, seed=seed,
+                environment=loo_env,
             )
             for stats in per_scenario.values():
                 matches += stats.oracle_matches
@@ -348,13 +360,12 @@ def fig14_convergence(source_device="mi8pro",
 
     # --- train the source device from scratch ---------------------------
     source = scratch_engine(source_device)
+    source_trainer = BatchTrainer(source)
     scratch_curves = {}
     convergence = {}
     for use_case in use_cases:
-        start = len(source.history)
-        source.run(use_case, train_runs)
-        rewards = [step.reward for step in source.history[start:]
-                   if not step.explored]
+        steps = source_trainer.run(use_case, train_runs)
+        rewards = [step.reward for step in steps if not step.explored]
         scratch_curves[use_case.name] = rewards
         convergence[(source_device, "scratch", use_case.name)] = \
             episodes_to_converge(rewards)
@@ -369,13 +380,13 @@ def fig14_convergence(source_device="mi8pro",
     for offset, device_name in enumerate(transfer_devices, start=1):
         for mode in ("scratch", "transfer"):
             engine = scratch_engine(device_name, offset * 10)
+            trainer = BatchTrainer(engine)
             if mode == "transfer":
                 transfer_q_table(source.qtable, source.action_space,
                                  engine.qtable, engine.action_space)
             for use_case in use_cases:
-                start = len(engine.history)
-                engine.run(use_case, train_runs)
-                rewards = [step.reward for step in engine.history[start:]
+                steps = trainer.run(use_case, train_runs)
+                rewards = [step.reward for step in steps
                            if not step.explored]
                 convergence[(device_name, mode, use_case.name)] = \
                     episodes_to_converge(rewards)

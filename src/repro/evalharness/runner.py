@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.oracle import OptOracle
 from repro.common import ConfigError, make_rng
+from repro.core.batchtrain import BatchTrainer
 from repro.core.engine import AutoScale
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.scenarios import build_scenario
@@ -65,31 +66,49 @@ class RunConfig:
 
 
 def train_autoscale(engine, use_cases, scenarios=("S1",),
-                    runs_per_case=40):
+                    runs_per_case=40, batched=True):
     """Train an engine across use cases and Table-IV scenarios.
 
     The engine's environment is switched through each scenario; within a
     scenario every use case gets ``runs_per_case`` Algorithm-1 cycles.
+
+    ``batched=True`` (the default) drives the episodes through
+    :class:`~repro.core.batchtrain.BatchTrainer` — bit-identical Q-table,
+    visit counts, history, and clock, several times faster.  The scalar
+    path is kept for parity pinning and for configurations the trainer
+    itself falls back on (frozen engines, active fault plans).
     """
     env = engine.environment
+    trainer = BatchTrainer(engine) if batched else None
     for scenario_name in scenarios:
         env.scenario = build_scenario(scenario_name) \
             if isinstance(scenario_name, str) else scenario_name
         env.clock.reset()
         for use_case in use_cases:
-            engine.run(use_case, runs_per_case)
+            if trainer is not None:
+                trainer.run(use_case, runs_per_case)
+            else:
+                engine.run(use_case, runs_per_case)
     return engine
 
 
 def adapt_engine(engine, use_case, max_runs=50,
-                 stop_on_convergence=True):
+                 stop_on_convergence=True, batched=True):
     """Online adaptation on a (possibly unseen) use case.
 
     Stops early once the reward converges unless
     ``stop_on_convergence=False`` — in *dynamic* environments the
     detector converges on the most frequent variance state long before
     the rare states are trained, so those runs must use the full budget.
+
+    ``batched=True`` runs the loop through
+    :class:`~repro.core.batchtrain.BatchTrainer.adapt` (bit-identical,
+    faster); the scalar loop remains for parity pinning.
     """
+    if batched:
+        return BatchTrainer(engine).adapt(
+            use_case, max_runs, stop_on_convergence=stop_on_convergence
+        )
     engine.unfreeze()
     engine.convergence.reset()
     for _ in range(max_runs):
@@ -153,22 +172,36 @@ def evaluate_scheduler(environment, scheduler, use_case, eval_runs=30,
 
 def loo_train_and_evaluate(device_builder, use_cases, test_case,
                            scenarios=("S1",), config=RunConfig(),
-                           seed=0, oracle=True, engine_kwargs=None):
+                           seed=0, oracle=True, engine_kwargs=None,
+                           environment=None, batched=True):
     """The paper's leave-one-out protocol for one held-out use case.
 
     Trains a fresh engine on every use case *except* ``test_case`` across
     ``scenarios``, then — per scenario — adapts online on the held-out
     case until convergence and evaluates the frozen table.
 
+    Pass ``environment`` to reuse one environment across folds: the
+    environment is re-armed for the fold (scenario reset, clock rewind,
+    fresh RNG stream from ``seed``) but its exact nominal-component
+    caches are value-keyed and deterministic, so they survive — every
+    fold after the first trains against a warm cache and produces the
+    same results a cold environment would.  ``device_builder`` is
+    ignored when an environment is supplied.
+
     Returns ``(engine, {scenario_name: EpisodeStats})``.
     """
     training_cases = [case for case in use_cases
                       if case.name != test_case.name]
-    env = EdgeCloudEnvironment(device_builder(), scenario=scenarios[0],
-                               seed=seed)
+    if environment is None:
+        env = EdgeCloudEnvironment(device_builder(), scenario=scenarios[0],
+                                   seed=seed)
+    else:
+        env = environment
+        env.scenario = scenarios[0]
+        env.reset(seed=seed)
     engine = AutoScale(env, seed=seed, **(engine_kwargs or {}))
     train_autoscale(engine, training_cases, scenarios,
-                    config.train_runs)
+                    config.train_runs, batched=batched)
     opt = OptOracle() if oracle else None
     results = {}
     for scenario_name in scenarios:
@@ -177,6 +210,7 @@ def loo_train_and_evaluate(device_builder, use_cases, test_case,
         adapt_engine(
             engine, test_case, config.adapt_budget(env.scenario),
             stop_on_convergence=not env.scenario.dynamic,
+            batched=batched,
         )
         results[scenario_name] = evaluate_autoscale(
             engine, test_case, config.eval_runs, oracle=opt,

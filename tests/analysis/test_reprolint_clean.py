@@ -64,3 +64,12 @@ def test_serving_package_enters_with_zero_allowlist_entries():
     assert report.files_checked == 6
     assert report.ok, "\n" + report.format()
     assert not report.suppressed
+
+
+def test_batchtrain_enters_with_zero_allowlist_entries():
+    """The vectorized training engine is likewise born clean: the
+    module passes every rule with the allowlist disabled."""
+    report = lint_paths([SRC / "core" / "batchtrain.py"], allowlist=False)
+    assert report.files_checked == 1
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed

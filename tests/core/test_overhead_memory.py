@@ -1,0 +1,116 @@
+"""Tests for the bounded-memory engine instrumentation.
+
+Paper-scale campaigns run hundreds of thousands of Algorithm-1 cycles;
+the per-step timing series and the step history must not grow without
+bound while the reported means and recent-window APIs stay intact.
+"""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.engine import BoundedHistory, OverheadStats, StreamingSeries
+
+
+class TestStreamingSeries:
+    def test_exact_mean_and_count(self):
+        series = StreamingSeries(capacity=8)
+        values = [float(i) for i in range(1000)]
+        for value in values:
+            series.append(value)
+        assert len(series) == 1000
+        assert series.total == pytest.approx(sum(values))
+        assert series.mean() == pytest.approx(sum(values) / 1000)
+
+    def test_sample_is_bounded(self):
+        series = StreamingSeries(capacity=64)
+        for i in range(100_000):
+            series.append(float(i))
+        assert len(series.sample) <= 64
+        assert len(series) == 100_000
+
+    def test_thinning_is_deterministic(self):
+        first = StreamingSeries(capacity=16)
+        second = StreamingSeries(capacity=16)
+        for i in range(5000):
+            first.append(float(i))
+            second.append(float(i))
+        assert first.sample == second.sample
+
+    def test_percentile_exact_below_capacity(self):
+        series = StreamingSeries(capacity=1024)
+        for i in range(101):
+            series.append(float(i))
+        assert series.percentile(50) == pytest.approx(50.0)
+        assert series.percentile(100) == pytest.approx(100.0)
+
+    def test_percentile_approximate_above_capacity(self):
+        series = StreamingSeries(capacity=128)
+        for i in range(10_000):
+            series.append(float(i))
+        # Thinned uniformly, the median estimate stays close.
+        assert series.percentile(50) == pytest.approx(5000.0, rel=0.05)
+
+    def test_clear_resets_everything(self):
+        series = StreamingSeries(capacity=8)
+        for i in range(100):
+            series.append(1.0)
+        series.clear()
+        assert len(series) == 0
+        assert not series
+        assert series.mean() == 0.0
+        assert series.percentile(50) == 0.0
+        assert series.sample == []
+
+    def test_bool_and_iter(self):
+        series = StreamingSeries()
+        assert not series
+        series.append(2.5)
+        assert series
+        assert list(series) == [2.5]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            StreamingSeries(capacity=1)
+
+    def test_overhead_stats_means(self):
+        stats = OverheadStats()
+        for value in (10.0, 20.0, 30.0):
+            stats.select_us.append(value)
+            stats.update_us.append(value * 2)
+        assert stats.mean_select_us() == pytest.approx(20.0)
+        assert stats.mean_update_us() == pytest.approx(40.0)
+        assert stats.mean_train_us() == pytest.approx(60.0)
+
+
+class TestBoundedHistory:
+    def test_plain_list_interface_below_cap(self):
+        history = BoundedHistory(maxlen=100)
+        for i in range(10):
+            history.append(i)
+        assert len(history) == 10
+        assert history[-1] == 9
+        assert history[:3] == [0, 1, 2]
+        assert history.total == 10
+        assert history.dropped == 0
+
+    def test_cap_drops_oldest_quarter(self):
+        history = BoundedHistory(maxlen=100)
+        for i in range(101):
+            history.append(i)
+        assert len(history) == 76  # 100 - 25 dropped + 1 appended
+        assert history.dropped == 25
+        assert history.total == 101
+        assert history[0] == 25  # oldest quarter gone
+        assert history[-1] == 100
+
+    def test_total_is_monotonic_across_many_drops(self):
+        history = BoundedHistory(maxlen=8)
+        for i in range(1000):
+            history.append(i)
+        assert history.total == 1000
+        assert len(history) <= 8
+        assert history[-1] == 999
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ConfigError):
+            BoundedHistory(maxlen=2)

@@ -126,3 +126,73 @@ class TestEpsilonGreedy:
         )
         # ~epsilon * (n-1)/n of choices deviate from the argmax.
         assert 0.05 < explored / 5000 < 0.14
+
+
+class TestLoadValidation:
+    """A corrupt or mismatched archive must fail loudly, naming the path."""
+
+    def _saved(self, tmp_path):
+        table = QTable(6, 4, seed=3)
+        table.update(1, 2, -1.0, 3)
+        path = tmp_path / "qtable.npz"
+        table.save(path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "absent.npz"
+        with pytest.raises(ConfigError, match="absent.npz"):
+            QTable.load(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ConfigError, match="garbage.npz"):
+            QTable.load(path)
+
+    def test_bare_npy_rejected(self, tmp_path):
+        path = tmp_path / "bare.npy"
+        np.save(path, np.zeros((3, 2)))
+        with pytest.raises(ConfigError, match="not an .npz archive"):
+            QTable.load(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, values=np.zeros((3, 2), dtype=np.float32))
+        with pytest.raises(ConfigError, match="update_count"):
+            QTable.load(path)
+
+    def test_values_must_be_two_dimensional(self, tmp_path):
+        path = tmp_path / "flat.npz"
+        np.savez(path, values=np.zeros(6, dtype=np.float32),
+                 update_count=0)
+        with pytest.raises(ConfigError, match="2-D"):
+            QTable.load(path)
+
+    def test_values_must_be_float(self, tmp_path):
+        path = tmp_path / "ints.npz"
+        np.savez(path, values=np.zeros((3, 2), dtype=np.int32),
+                 update_count=0)
+        with pytest.raises(ConfigError, match="not a float type"):
+            QTable.load(path)
+
+    def test_visits_shape_must_match(self, tmp_path):
+        path = tmp_path / "shapes.npz"
+        np.savez(path, values=np.zeros((3, 2), dtype=np.float32),
+                 visits=np.zeros((3, 5), dtype=np.uint32),
+                 update_count=0)
+        with pytest.raises(ConfigError, match="does not match"):
+            QTable.load(path)
+
+    def test_visits_must_be_integer(self, tmp_path):
+        path = tmp_path / "floats.npz"
+        np.savez(path, values=np.zeros((3, 2), dtype=np.float32),
+                 visits=np.zeros((3, 2), dtype=np.float64),
+                 update_count=0)
+        with pytest.raises(ConfigError, match="not an integer type"):
+            QTable.load(path)
+
+    def test_valid_archive_still_loads(self, tmp_path):
+        path = self._saved(tmp_path)
+        loaded = QTable.load(path)
+        assert loaded.update_count == 1
+        assert loaded.visits[1, 2] == 1

@@ -75,3 +75,141 @@ class TestFallback:
         state = trained_engine.observe_state(net, observation)
         action = trained_engine._sibling_fallback(state)
         assert action == trained_engine.qtable.best_action(state)
+
+
+def _variance_radices(engine):
+    return [feature.num_bins
+            for feature in engine.state_space.features
+            if feature.name.startswith(("s_co_", "s_rssi"))]
+
+
+def _digits(offset, radices):
+    """Mixed-radix digits, least-significant first (as _bin_distance)."""
+    out = []
+    for radix in reversed(radices):
+        out.append(offset % radix)
+        offset //= radix
+    return out
+
+
+def _reference_fallback(engine, state, allowed=None):
+    """Brute-force re-derivation of the sibling-fallback contract."""
+    block = engine._variance_block_size()
+    if block <= 0:
+        return engine.qtable.best_action(state, allowed)
+    radices = _variance_radices(engine)
+    base = (state // block) * block
+    mine = _digits(state - base, radices)
+    best_action, best_distance = None, None
+    for sibling_offset in range(block):
+        sibling = base + sibling_offset
+        if not engine.qtable.visits[sibling].any():
+            continue
+        distance = sum(abs(a - b) for a, b in
+                       zip(mine, _digits(sibling_offset, radices)))
+        if best_distance is None or distance < best_distance:
+            best_distance = distance
+            best_action = engine.qtable.best_visited_action(sibling,
+                                                            allowed)
+    if best_action is None:
+        return engine.qtable.best_action(state, allowed)
+    return best_action
+
+
+class _FlatSpace:
+    """A custom state space with no Table-I variance suffix (block=0)."""
+
+    size = 16
+    features = ()
+
+    def encode(self, network, observation):
+        return 0
+
+
+class TestFallbackProperties:
+    """Seeded property tests against a brute-force reference."""
+
+    @pytest.fixture()
+    def engine(self):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=7)
+        return AutoScale(env, seed=7)
+
+    def test_random_visit_patterns_match_reference(self, engine):
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        block = engine._variance_block_size()
+        num_states = engine.qtable.num_states
+        num_actions = engine.qtable.num_actions
+        for _ in range(25):
+            engine.qtable.visits[:] = 0
+            # Sprinkle visits over a handful of states, some inside and
+            # some outside the queried block.
+            for state in rng.integers(0, num_states, size=12):
+                engine.qtable.visits[
+                    state, rng.integers(0, num_actions)] = 1
+            query = int(rng.integers(0, num_states))
+            assert engine._sibling_fallback(query) == \
+                _reference_fallback(engine, query), query
+        assert block > 0  # the property exercised the sibling walk
+
+    def test_equal_distance_ties_break_to_lowest_offset(self, engine):
+        import numpy as np
+
+        block = engine._variance_block_size()
+        radices = _variance_radices(engine)
+        base = 3 * block  # an arbitrary network's block
+        # Query offset (0, 0, 1, 1): offsets (0,0,0,1) and (0,0,1,0)
+        # are both at L1 distance 1.  The scan goes in offset order, so
+        # the numerically lower sibling must win.
+        query = base + 0b11
+        lo, hi = base + 0b01, base + 0b10
+        assert sum(abs(a - b) for a, b in zip(
+            _digits(0b11, radices), _digits(0b01, radices))) == 1
+        assert sum(abs(a - b) for a, b in zip(
+            _digits(0b11, radices), _digits(0b10, radices))) == 1
+        engine.qtable.visits[lo, 5] = 1
+        engine.qtable.visits[hi, 9] = 1
+        engine.qtable.values[lo] = -np.inf
+        engine.qtable.values[lo, 5] = -0.5
+        engine.qtable.values[hi] = -np.inf
+        engine.qtable.values[hi, 9] = -0.1
+        assert engine._sibling_fallback(query) == 5
+        assert _reference_fallback(engine, query) == 5
+
+    def test_block_zero_custom_space_uses_plain_argmax(self):
+        import numpy as np
+
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=7)
+        engine = AutoScale(env, state_space=_FlatSpace(), seed=7)
+        assert engine._variance_block_size() == 0
+        rng = np.random.default_rng(99)
+        for _ in range(10):
+            engine.qtable.visits[:] = 0
+            for state in rng.integers(0, _FlatSpace.size, size=4):
+                engine.qtable.visits[
+                    state, rng.integers(0, 66)] = 1
+            query = int(rng.integers(0, _FlatSpace.size))
+            assert engine._sibling_fallback(query) == \
+                engine.qtable.best_action(query)
+
+    def test_allowed_mask_is_respected(self, engine):
+        import numpy as np
+
+        rng = np.random.default_rng(4321)
+        num_states = engine.qtable.num_states
+        num_actions = engine.qtable.num_actions
+        for _ in range(20):
+            engine.qtable.visits[:] = 0
+            for state in rng.integers(0, num_states, size=10):
+                engine.qtable.visits[
+                    state, rng.integers(0, num_actions)] = 1
+            allowed = rng.random(num_actions) < 0.3
+            if not allowed.any():
+                allowed[int(rng.integers(num_actions))] = True
+            query = int(rng.integers(0, num_states))
+            action = engine._sibling_fallback(query, allowed)
+            assert allowed[action], (query, action)
+            assert action == _reference_fallback(engine, query, allowed)
