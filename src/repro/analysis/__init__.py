@@ -9,6 +9,12 @@ simulator's fidelity rests on from silently rotting.
   float-equality bans, RL004 the ``ReproError`` exception taxonomy,
   RL005 mutable defaults, and RL006 dataclass validation.  Run it with
   ``python -m repro.analysis src/repro``.
+- **flow** (:mod:`~repro.analysis.flow`, ``repro-lint --flow``): a
+  whole-program pass over the project import/call graph enforcing RL101
+  cross-module unit propagation, RL102 determinism taint into the
+  simulation core, RL103 virtual-clock write funnels, and RL104 the
+  architecture layer contracts — ratcheted against a committed baseline
+  and reportable as text, JSON, or SARIF.
 - **contracts** (:mod:`~repro.analysis.contracts`): runtime validators for
   the physical invariants behind equations (1)-(4) — non-negative power,
   positive latency, bounded utilization and RSSI, finite Q-values —
@@ -34,6 +40,17 @@ from repro.analysis.contracts import (
     ensure_rssi_dbm,
     ensure_utilization,
 )
+from repro.analysis.flow import (
+    APPROVED_CLOCK_FUNNELS,
+    DEFAULT_BASELINE_PATH,
+    FlowBaseline,
+    FlowReport,
+    PACKAGE_LAYERS,
+    Project,
+    analyze_paths,
+    analyze_project,
+    load_baseline,
+)
 from repro.analysis.rules import RULES, Rule
 from repro.analysis.runner import (
     LintReport,
@@ -57,6 +74,15 @@ __all__ = [
     "ensure_q_value",
     "ensure_rssi_dbm",
     "ensure_utilization",
+    "APPROVED_CLOCK_FUNNELS",
+    "DEFAULT_BASELINE_PATH",
+    "FlowBaseline",
+    "FlowReport",
+    "PACKAGE_LAYERS",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "load_baseline",
     "RULES",
     "Rule",
     "LintReport",

@@ -1,21 +1,28 @@
 """Command-line front end for reprolint.
 
 Run as ``python -m repro.analysis src/repro`` or via the ``repro-lint``
-console script.  Exit status 0 means the tree is clean outside the
-committed allowlist; 1 means live violations; 2 means the run itself was
-misconfigured (bad path, unreadable allowlist).
+console script.  ``--flow`` switches from the per-file rules
+(RL001-RL006) to the whole-program flow analysis (RL101-RL104), which
+reports in text, JSON, or SARIF and ratchets against a committed
+baseline.  Exit status 0 means the tree is clean outside the committed
+allowlist/baseline (with no stale entries); 1 means live violations or
+stale entries; 2 means the run itself was misconfigured (bad path,
+unreadable allowlist, unknown rule id).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.rules import RULES
 from repro.analysis.runner import lint_paths
-from repro.common import ReproError
+from repro.common import ConfigError, ReproError
 
 __all__ = ["main"]
+
+_FLOW_RULE_IDS = ("RL101", "RL102", "RL103", "RL104")
 
 
 def _build_parser():
@@ -23,9 +30,11 @@ def _build_parser():
         prog="repro-lint",
         description=(
             "Repo-specific static analysis for the AutoScale reproduction: "
-            "unit-suffix discipline, make_rng-only seeding, float-equality "
-            "bans, ReproError exception taxonomy, mutable defaults, and "
-            "dataclass validation."
+            "per-file rules (unit-suffix discipline, make_rng-only seeding, "
+            "float-equality bans, ReproError exception taxonomy, mutable "
+            "defaults, dataclass validation) and, with --flow, whole-program "
+            "rules (unit propagation, determinism taint, clock-write "
+            "funnels, layer contracts)."
         ),
     )
     parser.add_argument(
@@ -48,35 +57,140 @@ def _build_parser():
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--allow-stale", action="store_true",
+        help=(
+            "do not fail on stale allowlist/baseline entries (for "
+            "spot-linting a subtree, where most entries match nothing)"
+        ),
+    )
+    flow = parser.add_argument_group(
+        "flow analysis",
+        "cross-module analysis over the project import/call graph",
+    )
+    flow.add_argument(
+        "--flow", action="store_true",
+        help="run the flow rules RL101-RL104 instead of the per-file rules",
+    )
+    flow.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt", help="flow report format (default: text)",
+    )
+    flow.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the flow report to FILE instead of stdout",
+    )
+    flow.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="alternate flow baseline file (default: the committed one)",
+    )
+    flow.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined flow findings too",
+    )
+    flow.add_argument(
+        "--write-baseline", action="store_true",
+        help=(
+            "rewrite the baseline file from the current findings and "
+            "exit; every generated line needs a justification before "
+            "committing"
+        ),
+    )
     return parser
+
+
+def _list_rules():
+    for rule in RULES.values():
+        print(f"{rule.rule_id}  {rule.title}")
+        doc = (rule.check.__doc__ or "").strip().splitlines()[0]
+        print(f"       {doc}")
+    from repro.analysis.flow.report import _RULE_DESCRIPTIONS
+    for rule_id in _FLOW_RULE_IDS:
+        print(f"{rule_id}  {_RULE_DESCRIPTIONS[rule_id]} (--flow)")
+    return 0
+
+
+def _parse_select(select, known, label):
+    if not select:
+        return None
+    rule_ids = [token.strip() for token in select.split(",")
+                if token.strip()]
+    unknown = [rule_id for rule_id in rule_ids if rule_id not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown {label} rule id(s): {', '.join(unknown)}"
+        )
+    return rule_ids
+
+
+def _emit(text, output):
+    if output is None:
+        sys.stdout.write(text)
+        return
+    Path(output).write_text(text)
+    print(f"repro-lint: report written to {output}")
+
+
+def _flow_main(options):
+    from repro.analysis.flow import analyze_paths
+    from repro.analysis.flow.baseline import (
+        DEFAULT_BASELINE_PATH,
+        format_baseline,
+    )
+    from repro.analysis.flow.report import to_json, to_sarif
+
+    baseline = False if options.no_baseline else options.baseline
+    if options.write_baseline:
+        baseline = False  # the new baseline covers *all* live findings
+    try:
+        rule_ids = _parse_select(options.select, _FLOW_RULE_IDS, "flow")
+        report = analyze_paths(options.paths, baseline=baseline,
+                               rule_ids=rule_ids)
+    except ReproError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    if options.write_baseline:
+        target = Path(options.baseline) if options.baseline \
+            else DEFAULT_BASELINE_PATH
+        target.write_text(format_baseline(report.violations))
+        print(f"repro-lint: wrote {len(report.violations)} finding(s) to "
+              f"{target}; justify every entry before committing")
+        return 0
+    if options.fmt == "json":
+        _emit(to_json(report), options.output)
+    elif options.fmt == "sarif":
+        _emit(to_sarif(report), options.output)
+    else:
+        _emit(report.format() + "\n", options.output)
+    if options.allow_stale:
+        return 0 if not report.violations else 1
+    return 0 if report.ok else 1
 
 
 def main(argv=None):
     parser = _build_parser()
     options = parser.parse_args(argv)
     if options.list_rules:
-        for rule in RULES.values():
-            print(f"{rule.rule_id}  {rule.title}")
-            doc = (rule.check.__doc__ or "").strip().splitlines()[0]
-            print(f"       {doc}")
-        return 0
-    rule_ids = None
-    if options.select:
-        rule_ids = [token.strip() for token in options.select.split(",")
-                    if token.strip()]
-        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
-        if unknown:
-            print(f"repro-lint: unknown rule id(s): {', '.join(unknown)}",
-                  file=sys.stderr)
-            return 2
+        return _list_rules()
+    if not options.flow and (options.fmt != "text" or options.output
+                             or options.no_baseline or options.baseline
+                             or options.write_baseline):
+        print("repro-lint: --format/--output/--baseline/--no-baseline/"
+              "--write-baseline require --flow", file=sys.stderr)
+        return 2
+    if options.flow:
+        return _flow_main(options)
     allowlist = False if options.no_allowlist else options.allowlist
     try:
+        rule_ids = _parse_select(options.select, RULES, "per-file")
         report = lint_paths(options.paths, allowlist=allowlist,
                             rule_ids=rule_ids)
     except ReproError as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
     print(report.format())
+    if options.allow_stale:
+        return 0 if not report.violations else 1
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,123 @@
+"""The ratcheting baseline for flow findings.
+
+Cross-module analyses start life against an existing tree, and some
+findings are *intentional* (wall-clock overhead instrumentation, a
+documented layering wart awaiting the event-kernel refactor).  Those
+live in ``flow_baseline.txt`` next to this module, one fingerprint per
+line::
+
+    RL102 repro.core.engine AutoScale.select_action:time.perf_counter  # why
+
+A fingerprint is ``(rule, module, name)`` — deliberately free of line
+numbers so unrelated edits cannot churn the file.  The ratchet works
+both ways: a violation *not* in the baseline fails the run (no new
+debt), and a baseline entry matching *no* violation fails the run too
+(paid-down debt must be deleted, so the file can only shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, List, Tuple
+
+from repro.common import ConfigError
+
+__all__ = ["DEFAULT_BASELINE_PATH", "FlowBaseline", "load_baseline",
+           "format_baseline"]
+
+#: The committed baseline that ships with the package.
+DEFAULT_BASELINE_PATH = Path(__file__).parent.with_name(
+    "flow_baseline.txt"
+)
+
+#: ``(rule, module, name)`` — the stable identity of one finding.
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class FlowBaseline:
+    """An immutable set of grandfathered flow findings."""
+
+    entries: FrozenSet[Fingerprint] = field(default_factory=frozenset)
+    source: str = "<empty>"
+
+    def matches(self, violation) -> bool:
+        return self.fingerprint_of(violation) in self.entries
+
+    @staticmethod
+    def fingerprint_of(violation) -> Fingerprint:
+        return (violation.rule, _module_of(violation.path),
+                violation.name)
+
+    def stale_entries(self, violations) -> List[Fingerprint]:
+        """Baseline lines matching none of ``violations`` (must be
+        deleted — the ratchet only tightens)."""
+        seen = {self.fingerprint_of(violation) for violation in violations}
+        return sorted(self.entries - seen)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _module_of(path: str) -> str:
+    """Derive the dotted module from a finding's display path."""
+    if path.startswith("<") and path.endswith(">"):
+        return path[1:-1]  # fixture projects: "<repro.env.fake>"
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    return ".".join(parts)
+
+
+def load_baseline(path=None) -> FlowBaseline:
+    """Parse a baseline file; ``None`` loads the committed default.
+
+    A missing committed default is an empty baseline (a fresh tree has
+    no debt); a missing *explicit* path is a :class:`ConfigError`.
+    """
+    if path is None:
+        path = DEFAULT_BASELINE_PATH
+        if not path.exists():
+            return FlowBaseline(source="<none>")
+    else:
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"flow baseline not found: {path}")
+    entries = set()
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3 or not parts[0].startswith("RL"):
+            raise ConfigError(
+                f"{path}:{lineno}: expected 'RLxxx module name', "
+                f"got {raw!r}"
+            )
+        entries.add((parts[0], parts[1], parts[2]))
+    return FlowBaseline(entries=frozenset(entries), source=str(path))
+
+
+def format_baseline(violations) -> str:
+    """Render violations as baseline lines (for ``--write-baseline``).
+
+    Every generated line carries a TODO comment: a justification is
+    required before committing, per the review bar in
+    ``docs/static_analysis.md``.
+    """
+    fingerprints = sorted({
+        FlowBaseline.fingerprint_of(violation) for violation in violations
+    })
+    lines = [
+        "# reprolint flow baseline - one 'RLxxx module name' per line.",
+        "#",
+        "# Every entry is tracked debt: new violations cannot be added",
+        "# without a justified line here, and lines whose violation is",
+        "# gone fail the run until deleted.  Justify every entry.",
+        "",
+    ]
+    for rule, module, name in fingerprints:
+        lines.append(f"{rule} {module} {name}  # TODO: justify")
+    return "\n".join(lines) + "\n"

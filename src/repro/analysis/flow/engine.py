@@ -1,0 +1,132 @@
+"""The flow-analysis orchestrator.
+
+``analyze_paths`` is the CLI's entry point: load the tree into a
+:class:`~repro.analysis.flow.project.Project`, run the four rule
+families, and split the findings against the ratchet baseline.  The CI
+gate condition is :attr:`FlowReport.ok` — no new violations *and* no
+stale baseline entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.flow.baseline import FlowBaseline, load_baseline
+from repro.analysis.flow.clockrule import check_clock_writes
+from repro.analysis.flow.determinism import check_determinism
+from repro.analysis.flow.layers import check_layers
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.units import check_units
+from repro.analysis.violations import Violation
+
+__all__ = ["FlowReport", "analyze_paths", "analyze_project"]
+
+_FAMILIES = (
+    ("RL101", check_units),
+    ("RL102", check_determinism),
+    ("RL103", check_clock_writes),
+    ("RL104", check_layers),
+)
+
+
+@dataclass(frozen=True)
+class FlowReport:
+    """The outcome of one flow-analysis run.
+
+    ``violations`` are new findings (not in the baseline);
+    ``suppressed`` are baselined ones; ``stale_entries`` are baseline
+    lines whose finding no longer exists.  The gate passes only when
+    both ``violations`` and ``stale_entries`` are empty — the ratchet
+    tightens in both directions.
+    """
+
+    violations: Tuple[Violation, ...] = ()
+    suppressed: Tuple[Violation, ...] = ()
+    stale_entries: Tuple[Tuple[str, str, str], ...] = ()
+    modules_checked: int = 0
+    baseline_source: str = "<none>"
+    rule_ids: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(rule for rule, _ in _FAMILIES)
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.stale_entries
+
+    def counts(self) -> Dict[str, int]:
+        """Live-violation count per rule family (zeros included)."""
+        tally = {rule: 0 for rule in self.rule_ids}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return tally
+
+    def format(self) -> str:
+        lines = [violation.format() for violation in self.violations]
+        for rule, module, name in self.stale_entries:
+            lines.append(
+                f"{self.baseline_source}: stale baseline entry "
+                f"'{rule} {module} {name}' — the finding is gone; "
+                f"delete the line"
+            )
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(
+                self.counts().items())
+        )
+        lines.append(
+            f"reprolint-flow: {len(self.violations)} new violation(s) "
+            f"[{per_rule}], {len(self.suppressed)} baselined "
+            f"({self.baseline_source}), {len(self.stale_entries)} stale "
+            f"baseline entr(y/ies), {self.modules_checked} module(s) "
+            f"analyzed"
+        )
+        return "\n".join(lines)
+
+
+def analyze_project(project: Project, baseline=None,
+                    rule_ids=None) -> FlowReport:
+    """Run the selected rule families (default: all) over a project."""
+    if baseline is None:
+        baseline = FlowBaseline()
+    selected = tuple(
+        (rule, check) for rule, check in _FAMILIES
+        if rule_ids is None or rule in rule_ids
+    )
+    live: List[Violation] = []
+    suppressed: List[Violation] = []
+    for _, check in selected:
+        for violation in check(project):
+            if baseline.matches(violation):
+                suppressed.append(violation)
+            else:
+                live.append(violation)
+    stale = baseline.stale_entries(live + suppressed)
+    # Entries for rules outside this run's selection are not stale —
+    # the evidence simply was not gathered.
+    selected_ids = {rule for rule, _ in selected}
+    stale = [entry for entry in stale if entry[0] in selected_ids]
+    return FlowReport(
+        violations=tuple(sorted(live)),
+        suppressed=tuple(sorted(suppressed)),
+        stale_entries=tuple(stale),
+        modules_checked=len(project.modules),
+        baseline_source=baseline.source,
+        rule_ids=tuple(rule for rule, _ in selected),
+    )
+
+
+def analyze_paths(paths, baseline=None, rule_ids=None) -> FlowReport:
+    """Load a source tree and analyze it.
+
+    Args:
+        paths: files or directories (the CLI default is ``src/repro``).
+        baseline: a :class:`FlowBaseline`, a path to one, ``None`` for
+            the committed default, or ``False`` for no baseline.
+        rule_ids: optional subset of ``RL101``..``RL104``.
+    """
+    if baseline is False:
+        baseline = FlowBaseline(source="<disabled>")
+    elif not isinstance(baseline, FlowBaseline):
+        baseline = load_baseline(baseline)
+    project = Project.load(paths)
+    return analyze_project(project, baseline=baseline, rule_ids=rule_ids)

@@ -1,0 +1,170 @@
+"""RL104 — architecture layer contracts.
+
+The package DAG (documented in ``docs/architecture.md``, "Layering"):
+
+.. code-block:: text
+
+    common -> analysis -> wireless/models -> hardware -> interference
+           -> env -> faults/baselines -> core -> serving -> evalharness
+           -> cli / repro (facade)
+
+A module may import from strictly *lower* layers only, at module scope.
+Two packages on the same layer (``wireless``/``models``,
+``faults``/``baselines``) are independent: neither may import the
+other.  A **function-scope (lazy) import is the sanctioned
+dependency-inversion escape** — ``core.service`` handing a request to
+the serving pipeline it hosts is the canonical example — so RL104
+constrains module-scope edges only.
+
+On top of the layer check, the rule rejects *cycles*: any strongly
+connected component of two or more modules in the module-scope import
+graph is reported, whatever layers it spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.flow.project import Project
+from repro.analysis.violations import Violation
+
+__all__ = ["PACKAGE_LAYERS", "check_layers"]
+
+#: Package -> layer rank.  Lower imports into higher only.  Packages
+#: sharing a rank are independent siblings.
+PACKAGE_LAYERS: Dict[str, int] = {
+    "repro.common": 0,
+    "repro.analysis": 1,
+    "repro.wireless": 2,
+    "repro.models": 2,
+    "repro.hardware": 3,
+    "repro.interference": 4,
+    "repro.env": 5,
+    "repro.faults": 6,
+    "repro.baselines": 6,
+    "repro.core": 7,
+    "repro.serving": 8,
+    "repro.evalharness": 9,
+    "repro.cli": 10,
+    "repro": 10,  # the root facade re-exports everything
+}
+
+
+def _package_of(module: str) -> str:
+    parts = module.split(".")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if len(parts) >= 2:
+        candidate = ".".join(parts[:2])
+        if candidate in PACKAGE_LAYERS:
+            return candidate
+    return parts[0] if parts else module
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> Iterator[List[str]]:
+    """Tarjan's SCC; yields components of size >= 2."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> Iterator[List[str]]:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in graph:
+                continue
+            if succ not in index:
+                yield from strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) >= 2:
+                yield sorted(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            yield from strongconnect(node)
+
+
+def check_layers(project: Project) -> List[Violation]:
+    """Run RL104 over the project's module-scope import edges."""
+    violations: List[Violation] = []
+    graph: Dict[str, Set[str]] = {}
+    for info in project.modules.values():
+        importer_pkg = _package_of(info.name)
+        importer_rank = PACKAGE_LAYERS.get(importer_pkg)
+        graph.setdefault(info.name, set())
+        for edge in info.imports:
+            if not edge.module_scope:
+                continue  # lazy imports are the sanctioned escape
+            target_pkg = _package_of(edge.target)
+            # Normalize self-referential module names (repro.x.__init__
+            # importing repro.x.y).
+            graph[info.name].add(edge.target)
+            if target_pkg == importer_pkg:
+                continue
+            target_rank = PACKAGE_LAYERS.get(target_pkg)
+            if importer_rank is None or target_rank is None:
+                continue
+            if importer_rank < target_rank:
+                violations.append(Violation(
+                    path=info.path, line=edge.lineno, col=0,
+                    rule="RL104", name=f"{info.name}->{target_pkg}",
+                    message=(
+                        f"layering: {importer_pkg} (layer "
+                        f"{importer_rank}) imports {edge.target} from "
+                        f"{target_pkg} (layer {target_rank}) at module "
+                        f"scope — upward imports invert the "
+                        f"architecture DAG; depend downward, invert "
+                        f"the dependency, or use a function-scope "
+                        f"import with a review"
+                    ),
+                ))
+            elif importer_rank == target_rank:
+                violations.append(Violation(
+                    path=info.path, line=edge.lineno, col=0,
+                    rule="RL104", name=f"{info.name}->{target_pkg}",
+                    message=(
+                        f"layering: {importer_pkg} and {target_pkg} "
+                        f"share layer {importer_rank} and are declared "
+                        f"independent; neither may import the other at "
+                        f"module scope"
+                    ),
+                ))
+    # Normalize edges against known modules: package imports
+    # (repro.faults) resolve to the package __init__ when present.
+    normalized: Dict[str, Set[str]] = {}
+    for module, targets in graph.items():
+        resolved = set()
+        for target in targets:
+            if target in graph:
+                resolved.add(target)
+            elif f"{target}.__init__" in graph:
+                resolved.add(f"{target}.__init__")
+        normalized[module] = resolved
+    for component in _strongly_connected(normalized):
+        anchor = component[0]
+        info = project.modules[anchor]
+        violations.append(Violation(
+            path=info.path, line=1, col=0, rule="RL104",
+            name="cycle:" + "->".join(component),
+            message=(
+                f"layering: import cycle among {', '.join(component)}; "
+                f"cycles make initialization order fragile and forbid "
+                f"any layer assignment — break the cycle with a "
+                f"downward interface or a function-scope import"
+            ),
+        ))
+    return sorted(violations)

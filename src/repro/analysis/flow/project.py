@@ -1,0 +1,305 @@
+"""The whole-program model the flow rules run over.
+
+A :class:`Project` holds every module of the analyzed tree as a parsed
+AST plus three derived structures the rule families share:
+
+- **import edges** (:attr:`ModuleInfo.imports`) with module-scope vs
+  function-scope (lazy) classification — RL104 constrains only
+  module-scope edges; a function-scope import is the sanctioned
+  dependency-inversion escape hatch;
+- a **symbol table** of every function and method, keyed
+  ``(module, qualname)`` — RL101 resolves positional-argument units and
+  RL102 anchors taint on these keys;
+- per-module **import alias maps** (``np`` -> ``numpy``,
+  ``FaultPlan`` -> ``repro.faults.plan.FaultPlan``) so dotted chains can
+  be expanded before matching against rule vocabularies.
+
+Construction never imports the analyzed code — everything is pure
+``ast`` — so the linter can analyze a broken tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.runner import iter_python_files
+from repro.common import ConfigError
+
+__all__ = ["FunctionInfo", "ImportEdge", "ModuleInfo", "Project"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``import``/``from-import`` of a project-internal module."""
+
+    target: str  #: imported module, dotted (``repro.faults.plan``)
+    lineno: int
+    module_scope: bool  #: False when the import sits inside a function
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str
+    qualname: str  #: ``func`` or ``Class.method``
+    node: ast.AST = field(repr=False, compare=False)
+    params: Tuple[str, ...] = ()
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module, self.qualname)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str  #: dotted module name (``repro.env.environment``)
+    path: str  #: display path for findings
+    tree: ast.Module = field(repr=False)
+    imports: List[ImportEdge] = field(default_factory=list)
+    #: local name -> dotted origin ("np" -> "numpy",
+    #: "FaultPlan" -> "repro.faults.plan.FaultPlan")
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The layer-granularity package (first two dotted components)."""
+        parts = self.name.split(".")
+        if len(parts) >= 2 and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+def _module_name_for(path: Path, root: Path, root_module: str) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = [root_module, *relative.parts]
+    return ".".join(parts)
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect project-internal import edges + the local alias map."""
+
+    def __init__(self, info: ModuleInfo, project_root_module: str):
+        self.info = info
+        self.root_module = project_root_module
+        self.depth = 0
+
+    def _edge(self, target: str, lineno: int) -> None:
+        self.info.imports.append(ImportEdge(
+            target=target, lineno=lineno, module_scope=self.depth == 0,
+        ))
+
+    def visit_FunctionDef(self, node: ast.AST) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.info.aliases[local] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname:
+                self.info.aliases[alias.asname] = alias.name
+            if alias.name.startswith(self.root_module):
+                self._edge(alias.name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level:  # resolve explicit relative imports
+            base = self.info.name.split(".")
+            base = base[: len(base) - node.level]
+            module = ".".join(base + ([module] if module else []))
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.info.aliases[local] = f"{module}.{alias.name}"
+        if module.startswith(self.root_module):
+            self._edge(module, node.lineno)
+
+
+def _collect_functions(info: ModuleInfo) -> Iterator[FunctionInfo]:
+    def walk(node: ast.AST, prefix: str) -> Iterator[FunctionInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}" if prefix else child.name
+                arguments = child.args
+                params = tuple(
+                    arg.arg for arg in
+                    (*arguments.posonlyargs, *arguments.args)
+                )
+                yield FunctionInfo(module=info.name, qualname=qualname,
+                                   node=child, params=params)
+                # Nested defs get their own entry but stay un-callable
+                # from outside; prefix keeps their key unique.
+                yield from walk(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+
+    yield from walk(info.tree, "")
+
+
+class Project:
+    """Every module of one analyzed tree, parsed and indexed."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo],
+                 root_module: str = "repro"):
+        self.root_module = root_module
+        self.modules = modules
+        #: (module, qualname) -> FunctionInfo
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: bare function/method name -> every definition with that name
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for info in modules.values():
+            collector = _ImportCollector(info, root_module)
+            collector.visit(info.tree)
+            for function in _collect_functions(info):
+                self.functions[function.key] = function
+                self.by_name.setdefault(function.name, []).append(function)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, paths, root_module: str = "repro") -> "Project":
+        """Parse a source tree from disk.
+
+        ``paths`` behaves like the classic runner's: files or
+        directories; the tree root is inferred as the directory named
+        after ``root_module`` on each file's path (so both
+        ``src/repro`` and individual files inside it work).
+        """
+        modules: Dict[str, ModuleInfo] = {}
+        for path in iter_python_files(paths):
+            path = Path(path)
+            parts = list(path.parts)
+            if root_module not in parts:
+                raise ConfigError(
+                    f"{path} is not under a {root_module!r} tree"
+                )
+            anchor = len(parts) - 1 - parts[::-1].index(root_module)
+            root = Path(*parts[: anchor + 1])
+            name = _module_name_for(path, root, root_module)
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError as error:
+                raise ConfigError(
+                    f"{path}:{error.lineno}: does not parse: {error.msg}"
+                ) from error
+            modules[name] = ModuleInfo(name=name, path=str(path), tree=tree)
+        return cls(modules, root_module=root_module)
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str],
+                     root_module: str = "repro") -> "Project":
+        """Build a project from ``{dotted_name: source}`` strings.
+
+        This is the fixture entry point: rule tests assemble synthetic
+        multi-module projects without touching the filesystem.
+        """
+        modules = {}
+        for name, text in sources.items():
+            try:
+                tree = ast.parse(text, filename=f"<{name}>")
+            except SyntaxError as error:
+                raise ConfigError(
+                    f"<{name}>:{error.lineno}: does not parse: {error.msg}"
+                ) from error
+            modules[name] = ModuleInfo(name=name, path=f"<{name}>",
+                                       tree=tree)
+        return cls(modules, root_module=root_module)
+
+    # ------------------------------------------------------------------
+    # Lookups shared by the rule families
+    # ------------------------------------------------------------------
+
+    def expand_alias(self, module: str, dotted: str) -> str:
+        """Expand a dotted chain's leading alias per the module's imports.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        module did ``import numpy as np``; unknown roots pass through.
+        """
+        info = self.modules.get(module)
+        if info is None or not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        origin = info.aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def resolve_call(self, module: str, owner_class: Optional[str],
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a call to a project function.
+
+        Handles, in order: bare names (module-local defs, then imported
+        symbols), ``self.method`` / ``cls.method`` within the calling
+        class, ``module_alias.func`` chains, and — as a last resort —
+        ``anything.method`` when exactly one project function carries
+        that bare name (unique-name heuristic; ambiguity resolves to
+        ``None``, never to a guess).
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self.functions.get((module, func.id))
+            if local is not None:
+                return local
+            origin = self.expand_alias(module, func.id)
+            if origin and "." in origin:
+                target_module, _, symbol = origin.rpartition(".")
+                found = self.functions.get((target_module, symbol))
+                if found is not None:
+                    return found
+            candidates = self.by_name.get(func.id, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        chain = _dotted(func)
+        if chain:
+            root, _, rest = chain.partition(".")
+            if root in ("self", "cls") and owner_class and "." not in rest:
+                method = self.functions.get(
+                    (module, f"{owner_class}.{rest}")
+                )
+                if method is not None:
+                    return method
+            origin = self.expand_alias(module, chain)
+            if "." in origin:
+                target_module, _, symbol = origin.rpartition(".")
+                found = self.functions.get((target_module, symbol))
+                if found is not None:
+                    return found
+        candidates = [
+            candidate for candidate in self.by_name.get(func.attr, [])
+            if "." in candidate.qualname  # methods only for attr calls
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render an attribute chain as ``a.b.c`` ('' if not a pure chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))

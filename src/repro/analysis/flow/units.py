@@ -1,0 +1,417 @@
+"""RL101 — cross-module unit propagation.
+
+The repo's naming convention *is* its unit system (RL001 enforces that
+every physical quantity carries its unit token), which means units can
+be checked mechanically: infer a unit tag for every expression from the
+names it is built from, propagate tags through locals, and flag the
+places where the algebra of eq. 5 (``energy_mj = latency_ms x power_mw
+/ 1000``) is broken.
+
+The inference is deliberately conservative — ``UNKNOWN`` silences every
+check — so a finding is worth reading.  What is tracked:
+
+- simple units from name tokens (the *last* unit token in a name wins:
+  ``tx_base_ms`` is ms);
+- numeric literals are dimensionless; a unit survives scaling by a
+  dimensionless factor;
+- ``ms * mw`` products become the one compound tag the paper needs;
+  dividing that compound by a literal ``1000`` yields ``mj``;
+- same-unit division is dimensionless; everything else unknown.
+
+Checks: incompatible ``+``/``-``/comparison/min/max operands,
+assignments whose target name contradicts the inferred value unit
+(including the un-divided ``ms x mw`` product landing in a ``_mj``
+name), keyword arguments whose name contradicts the argument, resolved
+positional arguments, and returns that contradict the function's own
+name.  Functions named ``<x>_to_<y>`` are converters and exempt from
+the return check; calls to them infer ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.flow.project import FunctionInfo, ModuleInfo, Project
+from repro.analysis.violations import Violation
+
+__all__ = ["UNIT_TOKENS", "check_units", "infer_name_unit"]
+
+#: The canonical unit vocabulary (matches RL001's token set).
+UNIT_TOKENS = ("ms", "mj", "mw", "mhz", "dbm", "mbps", "pct", "bytes")
+
+#: The compound produced by a latency x power product (micro-joules,
+#: pending the eq. 5 ``/ 1000``).
+_MS_X_MW = "ms*mw"
+_DIMENSIONLESS = "1"
+
+#: Builtins through which a unit passes unchanged.
+_UNIT_PRESERVING_CALLS = frozenset({"abs", "round", "float", "int"})
+#: Builtins that unify their operands like ``+`` does.
+_UNIFYING_CALLS = frozenset({"min", "max"})
+
+
+def infer_name_unit(name: str) -> Optional[str]:
+    """The unit a name declares, or ``None``.
+
+    The last unit token wins (``tx_base_ms`` -> ms); converter names
+    (``bytes_to_mbits``) intentionally mix tokens and declare nothing.
+    """
+    lowered = name.lower()
+    tokens = [token for token in lowered.split("_") if token]
+    if "to" in tokens:  # converter naming: the tokens span two units
+        return None
+    unit = None
+    for token in tokens:
+        if token in UNIT_TOKENS:
+            unit = token
+    return unit
+
+
+def _is_simple(unit: Optional[str]) -> bool:
+    return unit is not None and unit in UNIT_TOKENS
+
+
+def _literal_value(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_value(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                     (int, float)):
+        return float(node.value)
+    return None
+
+
+class _FunctionChecker:
+    """Infer and check units through one function (or module) body."""
+
+    def __init__(self, project: Project, info: ModuleInfo,
+                 qualname: str, owner_class: Optional[str],
+                 out: List[Violation]):
+        self.project = project
+        self.info = info
+        self.qualname = qualname
+        self.owner_class = owner_class
+        self.out = out
+        #: units inferred for unit-less local names
+        self.env: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _report(self, node: ast.AST, name: str, message: str) -> None:
+        self.out.append(Violation(
+            path=self.info.path, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), rule="RL101",
+            name=f"{self.qualname}:{name}" if self.qualname else name,
+            message=message,
+        ))
+
+    # ------------------------------------------------------------------
+    # Expression inference
+    # ------------------------------------------------------------------
+
+    def infer(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            return (_DIMENSIONLESS
+                    if isinstance(node.value, (int, float))
+                    and not isinstance(node.value, bool) else None)
+        if isinstance(node, ast.Name):
+            declared = infer_name_unit(node.id)
+            if declared is not None:
+                return declared
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return infer_name_unit(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.IfExp):
+            return self._unify(node, self.infer(node.body),
+                               self.infer(node.orelse),
+                               context="conditional branches")
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.NamedExpr):
+            return self.infer(node.value)
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        return None
+
+    def _unify(self, node: ast.AST, left: Optional[str],
+               right: Optional[str], context: str) -> Optional[str]:
+        """Units that meet additively must agree."""
+        if _is_simple(left) and _is_simple(right) and left != right:
+            self._report(node, f"{left}+{right}",
+                         f"unit mix: {context} combine '{left}' with "
+                         f"'{right}' — these are different physical "
+                         f"dimensions")
+            return None
+        if left == _MS_X_MW and right == "mj" or (
+                right == _MS_X_MW and left == "mj"):
+            self._report(node, "ms*mw+mj",
+                         "unit mix: a raw latency x power product "
+                         "(micro-joules) meets an mJ value; divide the "
+                         "product by 1000 first (eq. 5)")
+            return "mj"
+        if left is None or left == _DIMENSIONLESS:
+            return right
+        if right is None or right == _DIMENSIONLESS:
+            return left
+        return left  # equal, or compounds we carry through unchanged
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            # Dimensionless offsets around unit values stay lenient:
+            # only clashing *unit* tags are real findings.
+            return self._unify(node, left, right,
+                               context="'+'/'-' operands")
+        if isinstance(node.op, ast.Mult):
+            pair = {left, right}
+            if pair == {"ms", "mw"}:
+                return _MS_X_MW
+            if _DIMENSIONLESS in pair:
+                other = left if right == _DIMENSIONLESS else right
+                return other
+            return None
+        if isinstance(node.op, ast.Div):
+            if left == _MS_X_MW and _literal_value(node.right) == 1000:
+                return "mj"  # eq. 5: ms x mw / 1000 = mJ
+            if _is_simple(left) and left == right:
+                return _DIMENSIONLESS
+            if right == _DIMENSIONLESS:
+                return left
+            return None
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            if right == _DIMENSIONLESS:
+                return left
+            return None
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return None
+        if name in _UNIT_PRESERVING_CALLS and len(node.args) >= 1:
+            return self.infer(node.args[0])
+        if name in _UNIFYING_CALLS and len(node.args) >= 2:
+            unit: Optional[str] = None
+            for arg in node.args:
+                unit = self._unify(node, unit, self.infer(arg),
+                                   context=f"'{name}()' arguments")
+            return unit
+        # A called name carries its unit like any other name
+        # (``engine.remote_nominal_ms(...)`` is ms); converters do not.
+        return infer_name_unit(name)
+
+    # ------------------------------------------------------------------
+    # Statement checks
+    # ------------------------------------------------------------------
+
+    def _check_assign_target(self, target: ast.AST, value_unit: Optional[str],
+                             node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return  # no per-element inference for unpacking
+        if isinstance(target, ast.Starred):
+            self._check_assign_target(target.value, value_unit, node)
+            return
+        if isinstance(target, ast.Name):
+            declared = infer_name_unit(target.id)
+            label = target.id
+        elif isinstance(target, ast.Attribute):
+            declared = infer_name_unit(target.attr)
+            label = target.attr
+        elif isinstance(target, ast.Subscript):
+            declared = self.infer(target.value)
+            declared = declared if _is_simple(declared) else None
+            label = ast.unparse(target.value) if declared else ""
+        else:
+            return
+        if declared is None:
+            if isinstance(target, ast.Name) and _is_simple(value_unit):
+                self.env[target.id] = value_unit  # propagate
+            return
+        if value_unit == _MS_X_MW:
+            if declared == "mj":
+                self._report(
+                    node, f"{label}:ms*mw->mj",
+                    f"{label!r} is millijoules but receives a raw "
+                    f"latency x power product (micro-joules); divide "
+                    f"by 1000 (eq. 5: energy_mj = latency_ms x "
+                    f"power_mw / 1000)")
+            else:
+                self._report(
+                    node, f"{label}:ms*mw->{declared}",
+                    f"{label!r} declares '{declared}' but receives a "
+                    f"latency x power product")
+            return
+        if _is_simple(value_unit) and value_unit != declared:
+            self._report(
+                node, f"{label}:{value_unit}->{declared}",
+                f"{label!r} declares unit '{declared}' but the assigned "
+                f"expression carries '{value_unit}'")
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        left_unit = self.infer(node.left)
+        for comparator in node.comparators:
+            right_unit = self.infer(comparator)
+            if (_is_simple(left_unit) and _is_simple(right_unit)
+                    and left_unit != right_unit):
+                self._report(
+                    node, f"{left_unit}<>{right_unit}",
+                    f"unit mix: comparison between '{left_unit}' and "
+                    f"'{right_unit}' values")
+            left_unit = right_unit
+
+    def _check_call_args(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _UNIFYING_CALLS:
+            # min/max mix their operands even when the result is unused;
+            # the dedup pass absorbs the duplicate when it is.
+            self._infer_call(node)
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            declared = infer_name_unit(keyword.arg)
+            if declared is None:
+                continue
+            value_unit = self.infer(keyword.value)
+            if value_unit == _MS_X_MW and declared != "mj":
+                value_unit = "ms*mw"
+            if ((_is_simple(value_unit) or value_unit == _MS_X_MW)
+                    and value_unit != declared):
+                self._report(
+                    node, f"{keyword.arg}:{value_unit}->{declared}",
+                    f"argument {keyword.arg!r} declares "
+                    f"'{declared}' but receives a '{value_unit}' value")
+        callee = self.project.resolve_call(
+            self.info.name, self.owner_class, node
+        )
+        if callee is None:
+            return
+        params = list(callee.params)
+        if params and params[0] in ("self", "cls") and isinstance(
+                node.func, (ast.Attribute, ast.Name)):
+            # method call through an instance: drop the bound parameter
+            if isinstance(node.func, ast.Attribute):
+                params = params[1:]
+        for param, arg in zip(params, node.args):
+            declared = infer_name_unit(param)
+            if declared is None:
+                continue
+            value_unit = self.infer(arg)
+            if _is_simple(value_unit) and value_unit != declared:
+                self._report(
+                    node, f"{param}:{value_unit}->{declared}",
+                    f"positional argument for {param!r} of "
+                    f"{callee.module}.{callee.qualname} declares "
+                    f"'{declared}' but receives a '{value_unit}' value")
+
+    def _check_return(self, node: ast.Return,
+                      declared: Optional[str]) -> None:
+        if node.value is None or declared is None:
+            return
+        value_unit = self.infer(node.value)
+        if value_unit == _MS_X_MW and declared == "mj":
+            self._report(
+                node, f"return:ms*mw->{declared}",
+                "return value is a raw latency x power product "
+                "(micro-joules) but the function name promises mJ; "
+                "divide by 1000 (eq. 5)")
+            return
+        if _is_simple(value_unit) and value_unit != declared:
+            self._report(
+                node, f"return:{value_unit}->{declared}",
+                f"function name promises '{declared}' but this return "
+                f"carries '{value_unit}'")
+
+    # ------------------------------------------------------------------
+    # Body walk
+    # ------------------------------------------------------------------
+
+    def _walk_pruned(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk a statement without descending into nested defs/classes
+        (they get their own checker with their own local env)."""
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            yield from self._walk_pruned(child)
+
+    def run(self, body: List[ast.stmt],
+            return_unit: Optional[str] = None) -> None:
+        for statement in body:
+            for node in self._walk_pruned(statement):
+                if isinstance(node, ast.Assign):
+                    value_unit = self.infer(node.value)
+                    for target in node.targets:
+                        self._check_assign_target(target, value_unit, node)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    self._check_assign_target(
+                        node.target, self.infer(node.value), node)
+                elif isinstance(node, ast.AugAssign):
+                    if isinstance(node.op, (ast.Add, ast.Sub)):
+                        target_unit = self.infer(node.target)
+                        self._unify(node, target_unit,
+                                    self.infer(node.value),
+                                    context="augmented-assignment operands")
+                elif isinstance(node, ast.Compare):
+                    self._check_compare(node)
+                elif isinstance(node, ast.Call):
+                    self._check_call_args(node)
+                elif isinstance(node, ast.Return):
+                    self._check_return(node, return_unit)
+                elif isinstance(node, ast.BinOp):
+                    self.infer(node)  # additive mixes report inside
+
+
+def _walkable_functions(
+        project: Project, info: ModuleInfo
+) -> Iterator[Tuple[FunctionInfo, Optional[str]]]:
+    for function in project.functions.values():
+        if function.module != info.name:
+            continue
+        owner = (function.qualname.rsplit(".", 1)[0]
+                 if "." in function.qualname else None)
+        yield function, owner
+
+
+def check_units(project: Project) -> List[Violation]:
+    """Run RL101 over every function (and module body) of the project."""
+    violations: List[Violation] = []
+    for info in project.modules.values():
+        # Module-level statements (constants, table construction).
+        module_checker = _FunctionChecker(project, info, "", None,
+                                          violations)
+        top_level = [statement for statement in info.tree.body
+                     if not isinstance(statement,
+                                       (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.ClassDef))]
+        module_checker.run(top_level)
+        for function, owner in _walkable_functions(project, info):
+            checker = _FunctionChecker(project, info, function.qualname,
+                                       owner, violations)
+            node = function.node
+            return_unit = infer_name_unit(function.name)
+            checker.run(node.body, return_unit=return_unit)
+    # One report per (location, name): ast.walk can visit a node twice
+    # through different statement roots.
+    unique = {}
+    for violation in violations:
+        key = (violation.path, violation.line, violation.col,
+               violation.name)
+        unique.setdefault(key, violation)
+    return sorted(unique.values())

@@ -24,24 +24,35 @@ class LintReport:
     """The outcome of one lint run.
 
     ``violations`` are the live findings; ``suppressed`` are findings an
-    allowlist entry grandfathered.  ``ok`` is the CI gate condition.
+    allowlist entry grandfathered; ``unused_entries`` are allowlist lines
+    that matched nothing (stale — the suppressed name was fixed or
+    removed, so the line must be deleted).  ``ok`` is the CI gate
+    condition and requires both lists empty: the allowlist only shrinks.
     """
 
     violations: Tuple[Violation, ...] = ()
     suppressed: Tuple[Violation, ...] = ()
+    unused_entries: Tuple[Tuple[str, str], ...] = ()
     files_checked: int = 0
     allowlist_source: str = "<none>"
 
     @property
     def ok(self):
-        return not self.violations
+        return not self.violations and not self.unused_entries
 
     def format(self):
         lines = [violation.format() for violation in self.violations]
+        for rule, identifier in self.unused_entries:
+            lines.append(
+                f"{self.allowlist_source}: stale allowlist entry "
+                f"'{rule} {identifier}' — no finding matches it; delete "
+                f"the line"
+            )
         lines.append(
             f"reprolint: {len(self.violations)} violation(s), "
             f"{len(self.suppressed)} suppressed by allowlist "
-            f"({self.allowlist_source}), {self.files_checked} file(s) checked"
+            f"({self.allowlist_source}), {len(self.unused_entries)} stale "
+            f"allowlist entr(y/ies), {self.files_checked} file(s) checked"
         )
         return "\n".join(lines)
 
@@ -110,9 +121,18 @@ def lint_paths(paths, allowlist=None, rule_ids=None):
                 suppressed.append(violation)
             else:
                 live.append(violation)
+    used = {(violation.rule, violation.name) for violation in suppressed}
+    unused = [entry for entry in sorted(allowlist.entries)
+              if entry not in used]
+    if rule_ids is not None:
+        # A subset run gathered no evidence about the other rules'
+        # entries, so only entries for selected rules can be stale.
+        selected = set(rule_ids)
+        unused = [entry for entry in unused if entry[0] in selected]
     return LintReport(
         violations=tuple(sorted(live)),
         suppressed=tuple(sorted(suppressed)),
+        unused_entries=tuple(unused),
         files_checked=files_checked,
         allowlist_source=allowlist.source,
     )

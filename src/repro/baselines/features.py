@@ -345,7 +345,7 @@ def collect_nominal_dataset(environment, use_cases, contexts_per_case=8):
             latencies.append(sweep.latency_ms)
             keys.extend(target_keys)
             names.extend([use_case.name] * len(targets))
-            environment.clock.advance(_PROFILE_STEP_MS)
+            environment.advance_clock(_PROFILE_STEP_MS)
     return ProfilingDataset(
         features=np.vstack(feature_blocks),
         energy_mj=np.concatenate(energies),

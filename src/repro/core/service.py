@@ -31,7 +31,7 @@ import numpy as np
 from repro.common import ConfigError, UnknownKeyError, make_rng
 from repro.core.engine import AutoScale
 from repro.core.persistence import load_engine, save_engine
-from repro.evalharness.tracing import TraceRecorder, load_trace
+from repro.core.tracing import TraceRecorder, load_trace
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.resilience import ResiliencePolicy
 
@@ -144,7 +144,7 @@ class AutoScaleService:
                 return step.result
             failed_energy_mj += step.result.energy_mj
             if attempts <= policy.max_retries:
-                env.clock.advance(
+                env.advance_clock(
                     policy.backoff_ms(attempts - 1, self._retry_rng)
                 )
         # Retries exhausted: degrade to the best local target, which the

@@ -192,6 +192,33 @@ class EdgeCloudEnvironment:
             self._cost_engine.invalidate()
 
     # ------------------------------------------------------------------
+    # Clock funnels
+    # ------------------------------------------------------------------
+    # The environment owns the virtual timeline.  Every component that
+    # needs to move time — workload idle gaps, retry backoff, profiling
+    # sweeps, episode rewinds — goes through these three methods, so a
+    # stray ``env.clock.advance(...)`` deep in a helper cannot corrupt
+    # timestamps silently.  reprolint's RL103 enforces the funnel.
+
+    def advance_clock(self, delta_ms):
+        """Advance the virtual clock by ``delta_ms`` (>= 0)."""
+        self.clock.advance(delta_ms)
+
+    def advance_clock_to(self, at_ms):
+        """Advance the virtual clock to ``at_ms`` if it is in the future.
+
+        A target at or behind the current time is a no-op — arrivals
+        already in the past start service immediately.
+        """
+        delta_ms = at_ms - self.clock.now_ms
+        if delta_ms > 0:
+            self.clock.advance(delta_ms)
+
+    def rewind_clock(self):
+        """Rewind the virtual clock to zero without reseeding."""
+        self.clock.reset()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 

@@ -148,7 +148,6 @@ def run_workload(engine, workload, duration_ms, rng=None,
         engine.freeze()
     steps = []
     for request in requests:
-        if request.at_ms > env.clock.now_ms:
-            env.clock.advance(request.at_ms - env.clock.now_ms)
+        env.advance_clock_to(request.at_ms)
         steps.append(engine.step(request.use_case))
     return steps

@@ -65,7 +65,7 @@ from repro.evalharness.sweeps import (
     qos_sweep,
     signal_strength_sweep,
 )
-from repro.evalharness.tracing import TraceRecorder, load_trace
+from repro.core.tracing import TraceRecorder, load_trace
 from repro.evalharness.runner import (
     RunConfig,
     adapt_engine,

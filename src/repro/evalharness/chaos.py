@@ -29,7 +29,7 @@ from typing import Tuple
 from repro.common import ConfigError
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.qos import UseCase
-from repro.evalharness.tracing import TraceRecorder
+from repro.core.tracing import TraceRecorder
 from repro.faults import FaultPlan, OutageWindow, ResiliencePolicy
 from repro.hardware.devices import mi8pro
 from repro.models.zoo import build_network

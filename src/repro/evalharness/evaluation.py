@@ -435,7 +435,7 @@ def overhead_analysis(device_name="mi8pro",
     rng = make_rng(seed)
     for scenario in ("S1", "S2", "S3", "S4"):
         env.scenario = build_scenario(scenario)
-        env.clock.reset()
+        env.rewind_clock()
         targets = env.targets()
         for _ in range(runs // 4):
             observation = env.observe()
@@ -501,7 +501,7 @@ def ablation_states(device_name="mi8pro", network_names=DEFAULT_NETWORKS,
         matches, checked = 0, 0
         for scenario in scenarios:
             env.scenario = build_scenario(scenario)
-            env.clock.reset()
+            env.rewind_clock()
             for use_case in use_cases:
                 for _ in range(eval_runs):
                     observation = env.observe()

@@ -37,7 +37,7 @@ __all__ = [
 def availability_pct(statuses):
     """Fraction of requests that delivered a result, in percent.
 
-    Takes an iterable of :class:`~repro.evalharness.tracing.TraceRecord`
+    Takes an iterable of :class:`~repro.core.tracing.TraceRecord`
     status strings (``"ok"`` and ``"degraded"`` both delivered;
     ``"failed"`` did not).
     """

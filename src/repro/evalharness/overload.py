@@ -31,7 +31,7 @@ from typing import Tuple
 from repro.common import ConfigError, make_rng
 from repro.env.environment import EdgeCloudEnvironment
 from repro.env.qos import UseCase
-from repro.evalharness.tracing import TraceRecorder
+from repro.core.tracing import TraceRecorder
 from repro.hardware.devices import mi8pro
 from repro.models.zoo import build_network
 from repro.serving.arrivals import (
@@ -147,7 +147,7 @@ def overload_episode(policy, profile, plan=None, device=None,
     # Measure the serving phase only: fresh trace, fresh clock, and the
     # fault plan switched on just for the open-loop replay.
     service.trace = TraceRecorder(max_records=service.trace_limit)
-    env.clock.reset()
+    env.rewind_clock()
     if plan is not None:
         env.faults = plan
     arrivals = profile.generate(use_case.name, duration_ms,

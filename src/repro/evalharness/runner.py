@@ -83,7 +83,7 @@ def train_autoscale(engine, use_cases, scenarios=("S1",),
     for scenario_name in scenarios:
         env.scenario = build_scenario(scenario_name) \
             if isinstance(scenario_name, str) else scenario_name
-        env.clock.reset()
+        env.rewind_clock()
         for use_case in use_cases:
             if trainer is not None:
                 trainer.run(use_case, runs_per_case)
@@ -125,7 +125,7 @@ def evaluate_autoscale(engine, use_case, eval_runs=30, oracle=None,
     if scenario is not None:
         env.scenario = build_scenario(scenario) \
             if isinstance(scenario, str) else scenario
-        env.clock.reset()
+        env.rewind_clock()
     engine.freeze()
     stats = EpisodeStats(
         scheduler="autoscale", use_case=use_case.name,
@@ -158,7 +158,7 @@ def evaluate_scheduler(environment, scheduler, use_case, eval_runs=30,
     if scenario is not None:
         environment.scenario = build_scenario(scenario) \
             if isinstance(scenario, str) else scenario
-        environment.clock.reset()
+        environment.rewind_clock()
     stats = EpisodeStats(
         scheduler=scheduler.name, use_case=use_case.name,
         scenario=environment.scenario.name, qos_ms=use_case.qos_ms,
@@ -206,7 +206,7 @@ def loo_train_and_evaluate(device_builder, use_cases, test_case,
     results = {}
     for scenario_name in scenarios:
         env.scenario = build_scenario(scenario_name)
-        env.clock.reset()
+        env.rewind_clock()
         adapt_engine(
             engine, test_case, config.adapt_budget(env.scenario),
             stop_on_convergence=not env.scenario.dynamic,

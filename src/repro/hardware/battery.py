@@ -17,6 +17,9 @@ from repro.common import ConfigError
 
 __all__ = ["Battery", "projected_runtime_hours", "DEFAULT_PHONE_BATTERY"]
 
+#: One hour on the simulation timeline.
+_HOUR_MS = 3_600_000.0
+
 
 @dataclass
 class Battery:
@@ -84,9 +87,10 @@ def projected_runtime_hours(battery, energy_per_inference_mj,
     """
     if energy_per_inference_mj < 0 or inferences_per_hour < 0:
         raise ConfigError("workload parameters must be non-negative")
+    background_drain_mj = _HOUR_MS * background_power_mw / 1000.0
     drain_per_hour_mj = (
         energy_per_inference_mj * inferences_per_hour
-        + background_power_mw * 3600.0  # mW x s = mJ
+        + background_drain_mj
     )
     if drain_per_hour_mj <= 0:
         raise ConfigError("workload draws no energy; runtime is unbounded")

@@ -166,8 +166,7 @@ class ServingPipeline:
         outcomes: List[ServedRequest] = []
         for arrival in ordered:
             self.shed_stats.note_offered()
-            if env.clock.now_ms < arrival.at_ms:
-                env.clock.advance(arrival.at_ms - env.clock.now_ms)
+            env.advance_clock_to(arrival.at_ms)
             wait_ms = max(0.0, env.clock.now_ms - arrival.at_ms)
             result = self.service.handle(arrival.name)
             self.shed_stats.note_served()
@@ -193,7 +192,7 @@ class ServingPipeline:
                 if upcoming is None:
                     return outcomes
                 # Idle: jump the clock to the next arrival.
-                env.clock.advance(upcoming.at_ms - now_ms)
+                env.advance_clock_to(upcoming.at_ms)
                 continue
             self._drain_cycle(outcomes)
 

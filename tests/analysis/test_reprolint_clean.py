@@ -6,7 +6,7 @@ entry; this test is what keeps the discipline from regressing.
 
 from pathlib import Path
 
-from repro.analysis import lint_paths, load_allowlist
+from repro.analysis import Allowlist, lint_paths, load_allowlist
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
@@ -24,11 +24,34 @@ def test_lint_actually_covered_the_tree():
 
 
 def test_every_allowlist_entry_is_still_needed():
-    """Stale allowlist entries must be pruned, not accumulated."""
+    """Stale allowlist entries must be pruned, not accumulated — the
+    runner itself now tracks this in ``unused_entries`` and fails the
+    gate on them."""
     report = lint_paths([SRC])
-    used = {(v.rule, v.name) for v in report.suppressed}
-    stale = load_allowlist().entries - used
-    assert not stale, f"stale allowlist entries: {sorted(stale)}"
+    assert report.unused_entries == ()
+
+
+def test_stale_allowlist_entry_fails_the_run():
+    """An entry matching no finding flips ``ok`` and is reported with a
+    delete instruction — the allowlist can only shrink."""
+    allowlist = Allowlist(
+        entries=frozenset({("RL001", "no_such_identifier_anywhere")}),
+        source="<test>",
+    )
+    report = lint_paths([SRC / "common.py"], allowlist=allowlist)
+    assert not report.violations
+    assert report.unused_entries == (
+        ("RL001", "no_such_identifier_anywhere"),
+    )
+    assert not report.ok
+    assert "stale allowlist entry" in report.format()
+
+
+def test_rule_subset_run_does_not_stale_other_rules():
+    """Linting with ``--select`` gathers no evidence about other rules'
+    entries, so they are not reported stale."""
+    report = lint_paths([SRC / "common.py"], rule_ids=["RL003"])
+    assert report.unused_entries == ()
 
 
 def test_allowlist_is_small_and_justified():
@@ -71,5 +94,15 @@ def test_batchtrain_enters_with_zero_allowlist_entries():
     module passes every rule with the allowlist disabled."""
     report = lint_paths([SRC / "core" / "batchtrain.py"], allowlist=False)
     assert report.files_checked == 1
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed
+
+
+def test_flow_package_enters_with_zero_allowlist_entries():
+    """The flow analyzer holds itself to its own bar: every module of
+    repro.analysis.flow passes every per-file rule with the allowlist
+    disabled — no grandfathering."""
+    report = lint_paths([SRC / "analysis" / "flow"], allowlist=False)
+    assert report.files_checked == 9
     assert report.ok, "\n" + report.format()
     assert not report.suppressed
