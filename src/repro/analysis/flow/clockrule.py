@@ -27,23 +27,19 @@ __all__ = ["APPROVED_CLOCK_FUNNELS", "check_clock_writes"]
 
 #: module -> qualnames allowed to advance/rewind/assign the clock.
 #: The table is intentionally short: the Stopwatch primitive itself,
-#: and the environment methods that own the timeline.  Everything else
-#: goes through :meth:`EdgeCloudEnvironment.advance_clock`,
-#: :meth:`advance_clock_to`, or :meth:`rewind_clock`.
+#: and the event kernel's three dispatchers — the *single* writer
+#: behind every environment funnel.  Everything else (including the
+#: environment's own ``execute*`` paths) goes through
+#: :meth:`EdgeCloudEnvironment.advance_clock`, :meth:`advance_clock_to`,
+#: or :meth:`rewind_clock`, which delegate to the kernel.
 APPROVED_CLOCK_FUNNELS: Dict[str, frozenset] = {
     "repro.common": frozenset({
         "Stopwatch.advance", "Stopwatch.reset",
     }),
-    "repro.env.environment": frozenset({
-        "EdgeCloudEnvironment.execute",
-        "EdgeCloudEnvironment.execute_cached",
-        "EdgeCloudEnvironment.execute_batch",
-        "EdgeCloudEnvironment.execute_split",
-        "EdgeCloudEnvironment.execute_pipelined",
-        "EdgeCloudEnvironment.reset",
-        "EdgeCloudEnvironment.advance_clock",
-        "EdgeCloudEnvironment.advance_clock_to",
-        "EdgeCloudEnvironment.rewind_clock",
+    "repro.sim.kernel": frozenset({
+        "EventKernel.advance_by",
+        "EventKernel.advance_to",
+        "EventKernel.rewind",
     }),
 }
 

@@ -4,14 +4,15 @@ The package DAG (documented in ``docs/architecture.md``, "Layering"):
 
 .. code-block:: text
 
-    common -> analysis -> wireless/models -> hardware -> interference
+    common -> analysis/sim -> wireless/models -> hardware -> interference
            -> env -> faults/baselines -> core -> serving -> evalharness
            -> cli / repro (facade)
 
 A module may import from strictly *lower* layers only, at module scope.
-Two packages on the same layer (``wireless``/``models``,
-``faults``/``baselines``) are independent: neither may import the
-other.  A **function-scope (lazy) import is the sanctioned
+Two packages on the same layer (``analysis``/``sim``,
+``wireless``/``models``, ``faults``/``baselines``) are independent:
+neither may import the other — in particular the event kernel
+(``repro.sim``) builds on ``repro.common`` alone.  A **function-scope (lazy) import is the sanctioned
 dependency-inversion escape** — ``core.service`` handing a request to
 the serving pipeline it hosts is the canonical example — so RL104
 constrains module-scope edges only.
@@ -35,6 +36,7 @@ __all__ = ["PACKAGE_LAYERS", "check_layers"]
 PACKAGE_LAYERS: Dict[str, int] = {
     "repro.common": 0,
     "repro.analysis": 1,
+    "repro.sim": 1,
     "repro.wireless": 2,
     "repro.models": 2,
     "repro.hardware": 3,

@@ -34,6 +34,7 @@ from repro.core.persistence import load_engine, save_engine
 from repro.core.tracing import TraceRecorder, load_trace
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.resilience import ResiliencePolicy
+from repro.sim.events import EventKind
 
 __all__ = ["AutoScaleService"]
 
@@ -110,7 +111,8 @@ class AutoScaleService:
         from repro.serving.pipeline import ServingPipeline
         return ServingPipeline(self, config).serve(arrivals)
 
-    def _handle_resilient(self, use_case, extra_allowed=None):
+    def _handle_resilient(self, use_case, extra_allowed=None,
+                          queue_delay_ms=0.0, tier="normal"):
         """The resilient request path: deadline, retries, degradation.
 
         Every attempt goes through the engine's full Algorithm-1 cycle,
@@ -118,7 +120,10 @@ class AutoScaleService:
         below every delivering action's) while the breakers mask the
         worst offenders out of selection entirely.  ``extra_allowed``
         (the serving pipeline's brownout mask) intersects with the
-        breaker mask on every attempt.
+        breaker mask on every attempt.  ``queue_delay_ms``/``tier`` are
+        the pipeline's queueing columns, written into the trace record
+        at construction — re-stamping the trace tail after the fact
+        would race the rolling window's eviction.
         """
         policy = self.resilience
         env = self.environment
@@ -140,13 +145,13 @@ class AutoScaleService:
                     step, use_case, at_ms=env.clock.now_ms,
                     status="ok", retries=attempts - 1,
                     failed_energy_mj=failed_energy_mj,
+                    queue_delay_ms=queue_delay_ms, tier=tier,
                 )
                 return step.result
             failed_energy_mj += step.result.energy_mj
             if attempts <= policy.max_retries:
-                env.advance_clock(
-                    policy.backoff_ms(attempts - 1, self._retry_rng)
-                )
+                self._backoff(policy.backoff_ms(attempts - 1,
+                                                self._retry_rng))
         # Retries exhausted: degrade to the best local target, which the
         # fault plan cannot touch.  Only a use case with no accuracy-
         # feasible local target at all still fails.
@@ -156,14 +161,29 @@ class AutoScaleService:
                 step, use_case, at_ms=env.clock.now_ms,
                 status="failed", retries=attempts - 1,
                 failed_energy_mj=failed_energy_mj - step.result.energy_mj,
+                queue_delay_ms=queue_delay_ms, tier=tier,
             )
             return step.result
         self.trace.record_result(
             result, use_case, at_ms=env.clock.now_ms,
             status="degraded", retries=attempts - 1,
             failed_energy_mj=failed_energy_mj,
+            queue_delay_ms=queue_delay_ms, tier=tier,
         )
         return result
+
+    def _backoff(self, delay_ms):
+        """Wait out one retry backoff as a typed timeline event.
+
+        The wait is scheduled as a ``RETRY`` event and the clock is
+        advanced through the environment funnel, so the backoff is
+        visible on the event timeline and anything else due inside the
+        window (queued arrivals, outage boundaries) fires in order
+        during the wait.  The advance is the same single
+        ``delta``-advance as before, keeping timestamps bit-identical.
+        """
+        self.environment.kernel.schedule_in(delay_ms, EventKind.RETRY)
+        self.environment.advance_clock(delay_ms)
 
     def _degrade(self, use_case):
         """Execute the best accuracy-feasible local target directly."""

@@ -24,6 +24,7 @@ import math
 
 from repro.common import ConfigError, Stopwatch, make_rng
 from repro.env.costcache import NominalCostEngine
+from repro.env.injection import resolve_injector
 from repro.env.executor import (
     NoiseConfig,
     finish_local_execution,
@@ -37,11 +38,10 @@ from repro.env.executor import (
 from repro.env.observation import Observation
 from repro.env.scenarios import build_scenario
 from repro.env.target import ExecutionTarget, Location, enumerate_targets
-from repro.faults.failure import FaultInjector
-from repro.faults.plan import FaultPlan
 from repro.hardware.devices import cloud_server, galaxy_tab_s6
 from repro.interference.model import InterferenceModel
 from repro.models.accuracy import DEFAULT_ACCURACY
+from repro.sim.kernel import EventKernel
 from repro.wireless.profiles import default_wifi, default_wifi_direct
 
 __all__ = ["EdgeCloudEnvironment"]
@@ -108,6 +108,7 @@ class EdgeCloudEnvironment:
         self.think_time_ms = think_time_ms
         self.rng = make_rng(seed)
         self.clock = Stopwatch()
+        self.kernel = EventKernel(self.clock)
         self.faults = faults  # property setter builds the injector
         self._targets = enumerate_targets(device, self.cloud, self.connected)
         self._cost_engine = NominalCostEngine(self)
@@ -139,9 +140,15 @@ class EdgeCloudEnvironment:
 
     @faults.setter
     def faults(self, plan):
-        self._fault_injector = FaultInjector(
-            plan if plan is not None else FaultPlan.none()
-        )
+        # Resolved through the dependency-inverted injection interface:
+        # repro.faults registers the real injector factory at import
+        # time, so this layer never imports upward.  The previous
+        # injector's outage event chains are detached first — swapping
+        # plans mid-run must not leave stale boundaries on the heap.
+        previous = getattr(self, "_fault_injector", None)
+        if previous is not None:
+            previous.detach()
+        self._fault_injector = resolve_injector(plan, self.kernel)
 
     @property
     def fault_stats(self):
@@ -186,7 +193,7 @@ class EdgeCloudEnvironment:
         are dropped too — a replayed episode must recompute from scratch
         rather than observe another episode's cache population.
         """
-        self.clock.reset()
+        self.kernel.rewind()
         if seed is not None:
             self.rng = make_rng(seed)
             self._cost_engine.invalidate()
@@ -194,15 +201,18 @@ class EdgeCloudEnvironment:
     # ------------------------------------------------------------------
     # Clock funnels
     # ------------------------------------------------------------------
-    # The environment owns the virtual timeline.  Every component that
+    # The environment owns the virtual timeline's *interface*; the
+    # event kernel (repro.sim) owns its *writes*.  Every component that
     # needs to move time — workload idle gaps, retry backoff, profiling
-    # sweeps, episode rewinds — goes through these three methods, so a
-    # stray ``env.clock.advance(...)`` deep in a helper cannot corrupt
-    # timestamps silently.  reprolint's RL103 enforces the funnel.
+    # sweeps, episode rewinds — goes through these three methods, which
+    # delegate to the kernel so pending timeline events (arrivals,
+    # outage boundaries, retry timers) fire in deterministic order as
+    # time passes.  reprolint's RL103 enforces the funnel: only the
+    # kernel and the Stopwatch primitive may write the clock.
 
     def advance_clock(self, delta_ms):
         """Advance the virtual clock by ``delta_ms`` (>= 0)."""
-        self.clock.advance(delta_ms)
+        self.kernel.advance_by(delta_ms)
 
     def advance_clock_to(self, at_ms):
         """Advance the virtual clock to ``at_ms`` if it is in the future.
@@ -210,13 +220,16 @@ class EdgeCloudEnvironment:
         A target at or behind the current time is a no-op — arrivals
         already in the past start service immediately.
         """
-        delta_ms = at_ms - self.clock.now_ms
-        if delta_ms > 0:
-            self.clock.advance(delta_ms)
+        self.kernel.advance_to(at_ms)
 
     def rewind_clock(self):
-        """Rewind the virtual clock to zero without reseeding."""
-        self.clock.reset()
+        """Rewind the virtual clock to zero without reseeding.
+
+        Pending timeline events are dropped and event subscribers
+        (the outage schedule) re-arm on the fresh timeline via the
+        kernel's rewind hooks.
+        """
+        self.kernel.rewind()
 
     # ------------------------------------------------------------------
     # Execution
@@ -260,6 +273,13 @@ class EdgeCloudEnvironment:
         result = self._run(network, target, observation, rng=self.rng)
         injector = self._fault_injector
         if target.is_remote and (injector.active or deadline_ms is not None):
+            if deadline_ms is not None and injector.plan is None:
+                # The null injector cannot enforce deadlines; upgrade to
+                # the real one (the deadline came from the resilience
+                # machinery, so repro.faults is imported by now and the
+                # factory is registered).
+                injector = self._fault_injector = \
+                    resolve_injector(None, self.kernel)
             _, link = self._remote_setup(target)
             idle_power_mw = (self.device.soc.platform_idle_mw
                              + self.device.soc.cpu.idle_power_mw
@@ -269,7 +289,7 @@ class EdgeCloudEnvironment:
                 self.clock.now_ms, self.rng, idle_power_mw,
                 deadline_ms=deadline_ms,
             )
-        self.clock.advance(result.latency_ms + self.think_time_ms)
+        self.kernel.advance_by(result.latency_ms + self.think_time_ms)
         return result
 
     # ------------------------------------------------------------------
@@ -338,7 +358,7 @@ class EdgeCloudEnvironment:
             else:
                 jitters.append(1.0)
         result = self._finish_cached(network, target, observation, jitters)
-        self.clock.advance(result.latency_ms + self.think_time_ms)
+        self.kernel.advance_by(result.latency_ms + self.think_time_ms)
         return result
 
     def execute_batch(self, network, targets, observations):
@@ -394,7 +414,7 @@ class EdgeCloudEnvironment:
                     jitters.append(1.0)
             result = self._finish_cached(network, target, observation,
                                          jitters)
-            self.clock.advance(result.latency_ms + self.think_time_ms)
+            self.kernel.advance_by(result.latency_ms + self.think_time_ms)
             results.append(result)
         return results
 
@@ -453,7 +473,7 @@ class EdgeCloudEnvironment:
             rng=rng, noise=self.noise,
         )
         if not deterministic:
-            self.clock.advance(result.latency_ms + self.think_time_ms)
+            self.kernel.advance_by(result.latency_ms + self.think_time_ms)
         return result
 
     def execute_pipelined(self, network, segments, observation=None,
@@ -467,5 +487,5 @@ class EdgeCloudEnvironment:
             self.interference, self.accuracy, rng=rng, noise=self.noise,
         )
         if not deterministic:
-            self.clock.advance(result.latency_ms + self.think_time_ms)
+            self.kernel.advance_by(result.latency_ms + self.think_time_ms)
         return result

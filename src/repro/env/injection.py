@@ -1,0 +1,121 @@
+"""The dependency-inverted request-injection interface.
+
+The environment (layer *env*) must not import the fault machinery
+(layer *faults*) at module scope — that edge points up the architecture
+stack and was the one baselined RL104 finding.  This module dissolves
+it: the environment programs against :class:`RequestInjector` (whose
+base implementation is the exact no-op), and ``repro.faults`` — a
+*higher* layer that legally imports this one — subscribes by registering
+a factory at import time (:func:`register_injector_factory`).
+
+The flow at runtime:
+
+- ``EdgeCloudEnvironment.faults = plan`` resolves an injector through
+  :func:`resolve_injector`;
+- with the factory registered (importing ``repro.faults`` anywhere does
+  it, and constructing a :class:`~repro.faults.FaultPlan` requires that
+  import), the real :class:`~repro.faults.failure.FaultInjector` is
+  built and bound to the environment's event kernel;
+- without it, a ``None`` plan yields the no-op base injector and a
+  non-``None`` plan is a configuration error — the caller holds a plan
+  object whose defining module was somehow never imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common import ConfigError
+
+__all__ = ["InjectionStats", "RequestInjector",
+           "register_injector_factory", "resolve_injector"]
+
+
+class InjectionStats:
+    """The empty fault ledger, shape-compatible with ``FaultStats``.
+
+    A no-faults environment still exposes ``fault_stats`` (status
+    surfaces and the parity fixtures serialize it), so the null injector
+    carries a ledger with the exact field set — permanently zero.
+    """
+
+    def __init__(self):
+        self.attempts = 0
+        self.failures = {}
+        self.stragglers = 0
+        self.billed_energy_mj = 0.0
+        self.billed_estimated_energy_mj = 0.0
+
+    @property
+    def total_failures(self):
+        return sum(self.failures.values())
+
+    def as_dict(self):
+        return {
+            "attempts": self.attempts,
+            "failures": dict(self.failures),
+            "stragglers": self.stragglers,
+            "billed_energy_mj": self.billed_energy_mj,
+            "billed_estimated_energy_mj": self.billed_estimated_energy_mj,
+        }
+
+
+class RequestInjector:
+    """What the environment asks of a per-attempt injector.
+
+    The base class *is* the null implementation: no plan, never active,
+    passes every attempt through untouched.  The real
+    :class:`~repro.faults.failure.FaultInjector` subclasses this and
+    overrides the lot.
+    """
+
+    #: The attached fault plan (``None`` on the null injector).
+    plan = None
+
+    def __init__(self):
+        self.stats = InjectionStats()
+
+    @property
+    def active(self):
+        """Whether the injector can alter remote attempts."""
+        return False
+
+    def apply(self, result, target, link, rssi_dbm, now_ms, rng,
+              idle_power_mw, deadline_ms=None):
+        """Pass one remote attempt through (the null behaviour)."""
+        return result
+
+    def detach(self):
+        """Release timeline subscriptions (outage event chains)."""
+
+
+#: The faults layer's injector factory: ``(plan, kernel) -> injector``.
+_injector_factory: Optional[Callable] = None
+
+
+def register_injector_factory(factory):
+    """Install the faults layer's injector constructor.
+
+    Called once from ``repro.faults`` at import time; the environment
+    never imports upward to find it.
+    """
+    global _injector_factory
+    _injector_factory = factory
+
+
+def resolve_injector(plan, kernel):
+    """Build the injector for ``plan`` bound to ``kernel``.
+
+    With the factory registered the real injector is built even for a
+    ``None`` plan (it normalizes to the fault-free plan, preserving the
+    historical ``env.faults`` surface).  Without it, ``None`` yields the
+    null injector and anything else is a :class:`ConfigError`.
+    """
+    if _injector_factory is not None:
+        return _injector_factory(plan, kernel)
+    if plan is None:
+        return RequestInjector()
+    raise ConfigError(
+        "a fault plan was assigned but no injector factory is "
+        "registered; import repro.faults before configuring faults"
+    )

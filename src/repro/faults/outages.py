@@ -1,0 +1,163 @@
+"""Event-driven outage coverage on the simulation kernel.
+
+Before the kernel, every remote attempt re-derived outage coverage from
+scratch (:meth:`~repro.faults.plan.OutageWindow.covers` — a modulo
+against each window's period).  :class:`OutageSchedule` inverts that:
+window boundaries become typed :class:`~repro.sim.events.EventKind`
+``OUTAGE_START`` / ``OUTAGE_END`` events on the kernel's heap, each
+start/end pair chain-schedules the next periodic occurrence, and
+coverage is a per-location counter read — overlapping windows compose
+order-independently (two covering windows -> count 2), and the timeline
+itself now *shows* the outages instead of hiding them in arithmetic.
+
+Boundary semantics match :meth:`covers` exactly and are pinned by the
+``outage_probe`` parity fixture: a window ``[start, start + duration)``
+covers its start instant (the START event fires once the clock reaches
+it) and not its end instant (the END event fires at the boundary,
+decrementing the counter before any query at that time).
+
+Attach and rewind:
+
+- attaching mid-run (``env.faults = plan`` with the clock past zero)
+  arms each window from its *anchor*, not the attach instant — the
+  occurrence index comes from phase arithmetic, so a periodic window
+  attached at 25 s behaves exactly as if it had been armed at 0;
+- the kernel's rewind drops all pending events, and the schedule's
+  rewind hook re-arms every chain on the fresh timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim.events import EventKind
+
+__all__ = ["OutageSchedule"]
+
+
+class OutageSchedule:
+    """Counter-based outage coverage driven by kernel events.
+
+    Args:
+        windows: the plan's :class:`~repro.faults.plan.OutageWindow`\\ s.
+        kernel: the environment's :class:`~repro.sim.EventKernel`.
+    """
+
+    def __init__(self, windows, kernel):
+        self.kernel = kernel
+        self.windows = tuple(windows)
+        self._counts: Dict[object, int] = {}
+        #: One live handle per window (each chain has exactly one
+        #: pending boundary event at a time); index-aligned to windows.
+        self._handles: List[Optional[object]] = [None] * len(self.windows)
+        self._hook = kernel.on_rewind(self._rearm)
+        self._arm(kernel.clock.now_ms)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def covering(self, location, now_ms):
+        """Whether any window blacks out ``location`` right now.
+
+        Syncs the counters first (``fire_due`` catches boundaries an
+        out-of-band clock write may have skipped), then reads the
+        count.  ``now_ms`` is the caller's clock reading and must match
+        the kernel's — it is accepted for signature symmetry with
+        :meth:`~repro.faults.plan.FaultPlan.outage_covers`.
+        """
+        self.kernel.fire_due()
+        return self._counts.get(location, 0) > 0
+
+    @property
+    def counts(self):
+        """Live per-location covering-window counts (introspection)."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def detach(self):
+        """Cancel every pending boundary event and the rewind hook."""
+        for handle in self._handles:
+            if handle is not None:
+                handle.cancel()
+        self._handles = [None] * len(self.windows)
+        self._counts = {}
+        self.kernel.off_rewind(self._hook)
+
+    def _rearm(self):
+        # The kernel cleared its heap; stale handles are already gone.
+        self._arm(self.kernel.clock.now_ms)
+
+    # ------------------------------------------------------------------
+    # Arming (attach-time phase arithmetic)
+    # ------------------------------------------------------------------
+
+    def _arm(self, now_ms):
+        self._counts = {}
+        self._handles = [None] * len(self.windows)
+        for index, window in enumerate(self.windows):
+            self._arm_window(index, window, now_ms)
+
+    def _arm_window(self, index, window, now_ms):
+        """Seed one window's chain from the current instant.
+
+        The covering-now decision delegates to :meth:`covers` (the
+        modulo form) so an attach at time *t* agrees bit-for-bit with
+        the pre-kernel check at *t*; only the *future* boundaries come
+        from occurrence arithmetic (``start + k * period``, one multiply
+        per boundary — no accumulated drift).
+        """
+        start, duration = window.start_ms, window.duration_ms
+        period = window.period_ms
+        if window.covers(window.location, now_ms):
+            location = window.location
+            self._counts[location] = self._counts.get(location, 0) + 1
+            occurrence = (0 if period == 0.0
+                          else math.floor((now_ms - start) / period))
+            self._schedule_end(index, window, occurrence)
+        elif period == 0.0:
+            if now_ms < start:
+                self._schedule_start(index, window, 0)
+            # else: the one-shot window is already over; nothing to arm.
+        else:
+            occurrence = (0 if now_ms < start
+                          else math.floor((now_ms - start) / period) + 1)
+            self._schedule_start(index, window, occurrence)
+
+    # ------------------------------------------------------------------
+    # The chain: START -> END -> next START
+    # ------------------------------------------------------------------
+
+    def _schedule_start(self, index, window, occurrence):
+        at_ms = window.start_ms + occurrence * window.period_ms
+        self._handles[index] = self.kernel.schedule(
+            at_ms, EventKind.OUTAGE_START, payload=window,
+            callback=lambda event: self._on_start(index, window,
+                                                  occurrence),
+        )
+
+    def _schedule_end(self, index, window, occurrence):
+        at_ms = (window.start_ms + occurrence * window.period_ms
+                 + window.duration_ms)
+        self._handles[index] = self.kernel.schedule(
+            at_ms, EventKind.OUTAGE_END, payload=window,
+            callback=lambda event: self._on_end(index, window,
+                                                occurrence),
+        )
+
+    def _on_start(self, index, window, occurrence):
+        location = window.location
+        self._counts[location] = self._counts.get(location, 0) + 1
+        self._schedule_end(index, window, occurrence)
+
+    def _on_end(self, index, window, occurrence):
+        location = window.location
+        self._counts[location] = self._counts.get(location, 0) - 1
+        if window.period_ms != 0.0:
+            self._schedule_start(index, window, occurrence + 1)
+        else:
+            self._handles[index] = None

@@ -28,7 +28,7 @@ shedder and the brownout controller draw no RNG.
 
 from __future__ import annotations
 
-import dataclasses
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -37,6 +37,7 @@ import numpy as np
 from repro.analysis.contracts import ensure_duration_ms
 from repro.common import ConfigError
 from repro.serving.arrivals import Arrival
+from repro.sim.events import EventKind
 from repro.serving.brownout import (
     BrownoutConfig,
     BrownoutController,
@@ -179,20 +180,44 @@ class ServingPipeline:
     # ------------------------------------------------------------------
 
     def _serve_pipelined(self, ordered):
+        """Replay ``ordered`` as typed events on the environment's
+        event kernel.
+
+        Every arrival is scheduled as an ``ARRIVAL`` event up front;
+        the kernel delivers them into a due-buffer as the clock passes
+        their timestamps (including mid-drain, while executions and
+        retry backoffs advance time), and the loop admits the buffer at
+        the top of each cycle — the same admission instants and order
+        as the pre-kernel sweep, with the timeline now explicit.
+        """
         env = self.service.environment
+        kernel = env.kernel
         outcomes: List[ServedRequest] = []
-        pending = iter(ordered)
-        upcoming = next(pending, None)
+        due: "deque[Arrival]" = deque()
+        # Times of arrivals the kernel has not delivered yet; events
+        # fire in (time_ms, seq) order and we schedule in sorted order,
+        # so deliveries pop this deque front-to-back.
+        pending_ms: "deque[float]" = deque()
+
+        def deliver(event):
+            pending_ms.popleft()
+            due.append(event.payload)
+
+        for arrival in ordered:
+            kernel.schedule(arrival.at_ms, EventKind.ARRIVAL,
+                            payload=arrival, callback=deliver)
+            pending_ms.append(arrival.at_ms)
         while True:
+            kernel.fire_due()
             now_ms = env.clock.now_ms
-            while upcoming is not None and upcoming.at_ms <= now_ms:
-                self._admit(upcoming, now_ms, outcomes)
-                upcoming = next(pending, None)
+            while due:
+                self._admit(due.popleft(), now_ms, outcomes)
             if self.queue.depth == 0:
-                if upcoming is None:
+                if not pending_ms:
                     return outcomes
-                # Idle: jump the clock to the next arrival.
-                env.advance_clock_to(upcoming.at_ms)
+                # Idle: jump the clock to the next arrival (the advance
+                # fires its event, filling the due-buffer).
+                env.advance_clock_to(pending_ms[0])
                 continue
             self._drain_cycle(outcomes)
 
@@ -236,6 +261,13 @@ class ServingPipeline:
         # One selection per (network, state) group; execution, reward,
         # and Q update stay per-request via step_with_action.
         decisions = {}
+        # The feasibility floor must be judged against *current*
+        # conditions: earlier requests in the batch advance the clock,
+        # so the drain-start observation's load/RSSI go stale.  Track
+        # the freshest sample and re-observe only when time has moved —
+        # a batch of one (the pinned zero-overload path) never
+        # re-observes, so that path stays bit-identical.
+        feasibility_obs = observation
         for request in batch:
             now_ms = env.clock.now_ms
             use_case = request.use_case
@@ -244,7 +276,10 @@ class ServingPipeline:
                     self._shed(request, ShedReason.EXPIRED, now_ms,
                                outcomes)
                     continue
-                sweep = env.estimate_all(use_case.network, observation)
+                if feasibility_obs.now_ms != now_ms:
+                    feasibility_obs = env.observe()
+                sweep = env.estimate_all(use_case.network,
+                                         feasibility_obs)
                 floor_ms = min_feasible_latency_ms(sweep, mask)
                 if now_ms + floor_ms > request.deadline_ms:
                     self._shed(request, ShedReason.INFEASIBLE, now_ms,
@@ -305,19 +340,18 @@ class ServingPipeline:
 
         Retries re-observe between attempts, so coalescing does not
         apply; the brownout mask composes with the breaker mask inside
-        the retry loop.  The resilient path records its own trace entry,
-        which we re-stamp with the pipeline's queueing columns.
+        the retry loop.  The pipeline's queueing columns ride down into
+        the resilient path's own trace record — stamping the record at
+        construction rather than rewriting ``trace.records[-1]``, whose
+        tail may already belong to another request (or be gone entirely)
+        once the rolling window starts evicting.
         """
         service = self.service
-        outcome = service._handle_resilient(
+        return service._handle_resilient(
             use_case, extra_allowed=self.brownout.mask(
                 service.engine.action_space),
+            queue_delay_ms=wait_ms, tier=tier.value,
         )
-        records = service.trace.records
-        records[-1] = dataclasses.replace(
-            records[-1], queue_delay_ms=wait_ms, tier=tier.value,
-        )
-        return outcome
 
     def _combined_mask(self):
         """Breaker mask AND brownout mask (``None`` = everything)."""

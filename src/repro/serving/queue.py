@@ -47,7 +47,13 @@ class QueuedRequest:
         return max(0.0, now_ms - self.arrival.at_ms)
 
     def remaining_ms(self, now_ms):
-        """Budget left before the deadline (negative once blown)."""
+        """Budget left before the deadline (negative once blown).
+
+        The deadline is *inclusive* (see
+        :class:`~repro.serving.shedder.DeadlinePolicy`): at
+        ``remaining == 0`` the request is still alive — a completion at
+        this exact instant meets the deadline.
+        """
         return self.deadline_ms - now_ms
 
 

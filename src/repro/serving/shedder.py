@@ -171,6 +171,22 @@ class DeadlinePolicy:
     of 1 makes the deadline exactly the end-to-end QoS budget — shed
     precisely the work that provably cannot meet its QoS; a factor
     above 1 keeps slightly-late-but-useful work alive instead.
+
+    **The deadline is inclusive**: a request whose service completes at
+    exactly ``deadline_ms`` has met it.  Both shed checks follow the
+    same convention and the boundary tests pin it:
+
+    - ``EXPIRED`` fires only once ``now_ms > deadline_ms`` (remaining
+      budget strictly negative) — at ``remaining == 0`` the deadline is
+      not yet blown, since a completion at this instant would still
+      count;
+    - ``INFEASIBLE`` fires once ``now_ms + floor_ms > deadline_ms`` —
+      a fastest-target estimate landing exactly *on* the deadline
+      (``floor == remaining``) is kept, one ulp past it is shed.
+
+    So a request reaching the head of the queue at exactly its deadline
+    is shed as ``INFEASIBLE`` (any positive service floor overshoots),
+    not ``EXPIRED`` — the deadline itself was still alive.
     """
 
     qos_factor: float = 1.0

@@ -65,18 +65,28 @@ class TestUnapprovedWrites:
 
 
 class TestApprovedFunnels:
-    def test_environment_funnel_methods_clean(self):
-        assert _names({"repro.env.environment": (
-            "class EdgeCloudEnvironment:\n"
-            "    def advance_clock(self, delta_ms):\n"
+    def test_kernel_dispatchers_clean(self):
+        assert _names({"repro.sim.kernel": (
+            "class EventKernel:\n"
+            "    def advance_by(self, delta_ms):\n"
             "        self.clock.advance(delta_ms)\n"
-            "    def advance_clock_to(self, at_ms):\n"
+            "    def advance_to(self, at_ms):\n"
             "        delta_ms = at_ms - self.clock.now_ms\n"
             "        if delta_ms > 0:\n"
             "            self.clock.advance(delta_ms)\n"
-            "    def rewind_clock(self):\n"
+            "    def rewind(self):\n"
             "        self.clock.reset()\n"
         )}) == []
+
+    def test_environment_writes_no_longer_approved(self):
+        """The env funnels delegate to the kernel now; a direct write
+        re-appearing there must be flagged, not grandfathered."""
+        names = _names({"repro.env.environment": (
+            "class EdgeCloudEnvironment:\n"
+            "    def advance_clock(self, delta_ms):\n"
+            "        self.clock.advance(delta_ms)\n"
+        )})
+        assert names == ["EdgeCloudEnvironment.advance_clock:clock.advance"]
 
     def test_stopwatch_primitive_clean(self):
         assert _names({"repro.common": (
@@ -117,7 +127,7 @@ class TestReadsAndNeighbors:
 
 
 class TestFunnelTable:
-    def test_table_covers_only_common_and_environment(self):
+    def test_table_covers_only_common_and_kernel(self):
         assert set(APPROVED_CLOCK_FUNNELS) == {
-            "repro.common", "repro.env.environment",
+            "repro.common", "repro.sim.kernel",
         }

@@ -75,7 +75,16 @@ def test_faults_package_enters_with_zero_allowlist_entries():
     """The fault-injection/resilience subsystem is likewise born clean:
     every module passes every rule with the allowlist disabled."""
     report = lint_paths([SRC / "faults"], allowlist=False)
-    assert report.files_checked == 5
+    assert report.files_checked == 6
+    assert report.ok, "\n" + report.format()
+    assert not report.suppressed
+
+
+def test_sim_package_enters_with_zero_allowlist_entries():
+    """The event kernel is born clean: every module passes every rule
+    with the allowlist disabled."""
+    report = lint_paths([SRC / "sim"], allowlist=False)
+    assert report.files_checked == 3
     assert report.ok, "\n" + report.format()
     assert not report.suppressed
 

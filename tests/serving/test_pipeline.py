@@ -225,6 +225,196 @@ class TestShedding:
         assert all(r.energy_mj == 0.0 for r in shed_records)
 
 
+class TestDeadlineBoundary:
+    """The deadline is inclusive, and both shed checks agree on it.
+
+    These pin the convention documented on ``DeadlinePolicy``: at
+    ``remaining == 0`` the deadline is not yet blown (EXPIRED needs a
+    strictly negative budget), and a feasibility floor landing exactly
+    on the deadline is kept (INFEASIBLE needs a strict overshoot).
+    """
+
+    def _drain_one(self, zoo, deadline_offset_ms):
+        """Queue one request whose deadline sits at ``now + offset``
+        and run a single drain cycle."""
+        from repro.serving.queue import QueuedRequest
+
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        pipeline = ServingPipeline(service, ServingConfig(
+            brownout=BrownoutConfig.disabled()))
+        env = service.environment
+        env.advance_clock(500.0)  # a nonzero 'now' so negatives exist
+        now_ms = env.clock.now_ms
+        request = QueuedRequest(
+            Arrival(0.0, case.name), case,
+            deadline_ms=now_ms + deadline_offset_ms,
+        )
+        pipeline.queue.admit(request)
+        outcomes = []
+        pipeline._drain_cycle(outcomes)
+        return outcomes[0]
+
+    def _floor_ms(self, zoo):
+        """The exact floor `_drain_one`'s drain will compute: a twin
+        environment replaying the same seed, clock advance, and first
+        observation draw."""
+        from repro.serving.shedder import min_feasible_latency_ms
+
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        env = service.environment
+        env.advance_clock(500.0)
+        sweep = env.estimate_all(case.network, env.observe())
+        return min_feasible_latency_ms(sweep)
+
+    def test_remaining_zero_is_not_expired(self, zoo):
+        """At exactly the deadline the budget is spent but not blown:
+        the request is refused for infeasibility (no positive service
+        floor fits a zero budget), never mislabelled EXPIRED."""
+        outcome = self._drain_one(zoo, deadline_offset_ms=0.0)
+        assert outcome.shed
+        assert outcome.outcome.reason.value == "infeasible"
+
+    def test_remaining_barely_negative_is_expired(self, zoo):
+        outcome = self._drain_one(zoo, deadline_offset_ms=-1e-6)
+        assert outcome.shed
+        assert outcome.outcome.reason.value == "expired"
+
+    def test_floor_equal_to_remaining_is_kept(self, zoo):
+        """A fastest-target estimate landing exactly on the (inclusive)
+        deadline must be served, not shed."""
+        floor_ms = self._floor_ms(zoo)
+        outcome = self._drain_one(zoo, deadline_offset_ms=floor_ms)
+        assert outcome.delivered
+
+    def test_floor_past_remaining_is_infeasible(self, zoo):
+        floor_ms = self._floor_ms(zoo)
+        outcome = self._drain_one(zoo,
+                                  deadline_offset_ms=floor_ms * 0.999)
+        assert outcome.shed
+        assert outcome.outcome.reason.value == "infeasible"
+
+
+class TestResilientTraceStamping:
+    """The resilient path's queueing columns survive the rolling window.
+
+    Regression for the ``records[-1]`` re-stamp: with a tiny
+    ``trace_limit`` the tail of the buffer is not reliably the resilient
+    request's own record, so the columns must be written at record
+    construction (threaded through ``_handle_resilient``), never patched
+    onto whatever happens to sit at the tail.
+    """
+
+    def test_queue_columns_land_on_the_resilient_record(self, zoo):
+        from repro.faults import ResiliencePolicy
+
+        case = use_case_for(zoo["mobilenet_v3"])
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=3, think_time_ms=0.0)
+        service = AutoScaleService(env, seed=3, trace_limit=4,
+                                   resilience=ResiliencePolicy())
+        service.register(case)
+        arrivals = [Arrival(float(index), case.name)
+                    for index in range(12)]
+        outcomes = ServingPipeline(service, ServingConfig()).serve(
+            arrivals)
+        assert len(outcomes) == 12
+        # Every surviving record is internally consistent: a served
+        # record's queue delay matches its outcome's, and the rolling
+        # window never produced a mis-stamped neighbour.
+        served = {id(o.outcome): o for o in outcomes if o.delivered}
+        assert served, "expected delivered requests"
+        for record in service.trace.records:
+            if record.status == "shed":
+                continue
+            assert record.queue_delay_ms >= 0.0
+
+    def test_resilient_single_request_columns_exact(self, zoo):
+        from repro.faults import ResiliencePolicy
+
+        case = use_case_for(zoo["mobilenet_v3"])
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=3, think_time_ms=0.0)
+        service = AutoScaleService(env, seed=3, trace_limit=1,
+                                   resilience=ResiliencePolicy())
+        service.register(case)
+        # trace_limit=1: the buffer holds at most one record, the
+        # degenerate case where tail-patching is most fragile.
+        outcomes = ServingPipeline(service, ServingConfig()).serve(
+            [Arrival(0.0, case.name)])
+        assert len(outcomes) == 1
+        assert len(service.trace.records) == 1
+        record = service.trace.records[-1]
+        assert record.queue_delay_ms == outcomes[0].queue_delay_ms
+        assert record.tier == outcomes[0].tier
+
+
+class TestStaleFeasibilityRefresh:
+    """The INFEASIBLE floor is judged against current conditions.
+
+    Regression for the stale drain-start sweep: once earlier requests in
+    a batch have advanced the clock, the feasibility check must sample a
+    fresh observation instead of reusing load/RSSI from a point that no
+    longer exists — while a batch of one (the pinned zero-overload path)
+    never re-observes.
+    """
+
+    def test_batch_of_one_never_reobserves(self, zoo):
+        """Under zero overload the refresh must be provably inert: the
+        enabled pipeline draws exactly as many observations as the
+        direct path (drain sample + the engine's Q-update next-state
+        sample per request), none for feasibility."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        arrivals = [Arrival(0.0, case.name),
+                    Arrival(50_000.0, case.name)]
+
+        def count_observes(service, config):
+            counted = []
+            inner = service.environment.observe
+
+            def counting():
+                observation = inner()
+                counted.append(observation.now_ms)
+                return observation
+
+            service.environment.observe = counting
+            ServingPipeline(service, config).serve(arrivals)
+            return counted
+
+        piped = _service(5)
+        piped.register(case)
+        direct = _service(5)
+        direct.register(case)
+        assert count_observes(piped, ServingConfig()) \
+            == count_observes(direct, ServingConfig.disabled())
+
+    def test_late_batch_requests_use_fresh_observations(self, zoo):
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        env = service.environment
+        feasibility_times = []
+        inner_estimate_all = env.estimate_all
+
+        def tracking(network, observation, use_cache=True):
+            feasibility_times.append(observation.now_ms)
+            return inner_estimate_all(network, observation,
+                                      use_cache=use_cache)
+
+        env.estimate_all = tracking
+        pipeline = ServingPipeline(service, ServingConfig(
+            brownout=BrownoutConfig.disabled()))
+        pipeline.serve([Arrival(0.0, case.name) for _ in range(6)])
+        executed = [t for t in feasibility_times]
+        # The first check uses the drain-start sample; once the clock
+        # has moved, later checks must not reuse its timestamp.
+        assert executed[0] == 0.0
+        later = [t for t in executed[1:] if t > 0.0]
+        assert later, "late-batch feasibility checks never refreshed"
+
+
 class TestBrownout:
     def test_sustained_pressure_escalates_and_stamps_tiers(self, zoo):
         case = use_case_for(zoo["mobilenet_v3"])

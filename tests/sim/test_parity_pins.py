@@ -1,0 +1,45 @@
+"""Bit-identity pins for the event-kernel migration.
+
+Each scenario in :mod:`tests.sim.scenarios` runs a seeded end-to-end
+workload and snapshots every externally visible observable — trace
+records, Q-table fingerprint, shed/fault ledgers, breaker states, the
+final clock reading.  The committed fixtures were generated on the
+pre-kernel sweep-based timeline; these tests pin that moving arrivals,
+retry backoffs, and outage windows onto the ``repro.sim`` event heap
+changes *nothing* an observer could measure.
+
+JSON float serialization round-trips float64 exactly, so the equality
+below is bit-identity, not approximate comparison.
+"""
+
+import json
+
+import pytest
+
+from tests.sim.scenarios import FIXTURE_DIR, SCENARIOS
+
+
+def _normalize(value):
+    """Round-trip through JSON so tuples/keys normalize like fixtures."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_pinned_fixture(name):
+    path = FIXTURE_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing fixture {path}; regenerate with "
+        "`PYTHONPATH=src:. python -m tests.sim.scenarios`"
+    )
+    pinned = json.loads(path.read_text())
+    fresh = _normalize(SCENARIOS[name]())
+    assert fresh == pinned, (
+        f"scenario {name!r} diverged from its pinned observables — "
+        "the timeline refactor is no longer bit-identical"
+    )
+
+
+def test_fixture_dir_has_no_strays():
+    """Every committed fixture corresponds to a live scenario."""
+    names = {p.stem for p in FIXTURE_DIR.glob("*.json")}
+    assert names == set(SCENARIOS)
