@@ -33,6 +33,9 @@ Sub-packages:
 - ``repro.serving`` — open-loop arrivals, admission control,
   deadline-aware load shedding, and brownout degradation
   (see docs/robustness.md);
+- ``repro.guard`` — runtime policy guardrails: drift detectors and the
+  staged HEALTHY/READAPT/SHADOW/DEGRADE supervisor
+  (see docs/robustness.md);
 - ``repro.baselines`` — Edge/Cloud/Connected/Opt, LR/SVR/SVM/KNN/BO,
   MOSAIC, NeuroSurgeon;
 - ``repro.evalharness`` — metrics and one driver per paper figure.
@@ -65,6 +68,7 @@ from repro.faults import (
     OutageWindow,
     ResiliencePolicy,
 )
+from repro.guard import GuardConfig, GuardStage, PolicyGuard
 from repro.hardware import Device, build_device
 from repro.serving import (
     BrownoutConfig,
@@ -107,6 +111,9 @@ __all__ = [
     "FaultPlan",
     "OutageWindow",
     "ResiliencePolicy",
+    "GuardConfig",
+    "GuardStage",
+    "PolicyGuard",
     "Device",
     "build_device",
     "BrownoutConfig",

@@ -5,12 +5,12 @@ The package DAG (documented in ``docs/architecture.md``, "Layering"):
 .. code-block:: text
 
     common -> analysis/sim -> wireless/models -> hardware -> interference
-           -> env -> faults/baselines -> core -> serving -> evalharness
-           -> cli / repro (facade)
+           -> env -> faults/baselines/guard -> core -> serving
+           -> evalharness -> cli / repro (facade)
 
 A module may import from strictly *lower* layers only, at module scope.
-Two packages on the same layer (``analysis``/``sim``,
-``wireless``/``models``, ``faults``/``baselines``) are independent:
+Packages on the same layer (``analysis``/``sim``,
+``wireless``/``models``, ``faults``/``baselines``/``guard``) are independent:
 neither may import the other — in particular the event kernel
 (``repro.sim``) builds on ``repro.common`` alone.  A **function-scope (lazy) import is the sanctioned
 dependency-inversion escape** — ``core.service`` handing a request to
@@ -44,6 +44,7 @@ PACKAGE_LAYERS: Dict[str, int] = {
     "repro.env": 5,
     "repro.faults": 6,
     "repro.baselines": 6,
+    "repro.guard": 6,
     "repro.core": 7,
     "repro.serving": 8,
     "repro.evalharness": 9,

@@ -11,7 +11,9 @@ Installed as ``repro-autoscale`` (see ``pyproject.toml``).  Subcommands:
   reproduced table;
 - ``overload`` — replay an open-loop arrival stream through the serving
   pipeline and compare shed/brownout policies against naive FIFO,
-  optionally under a chaos fault level.
+  optionally under a chaos fault level;
+- ``drift`` — shift the world mid-episode (RSSI collapse, co-runner
+  flip, cloud slowdown) and compare guarded vs unguarded serving.
 
 Examples::
 
@@ -23,6 +25,7 @@ Examples::
     repro-autoscale experiment fig2
     repro-autoscale overload --profile surge --policy shed_brownout \\
         --faults mild
+    repro-autoscale drift --scenario cloud_slowdown
 """
 
 from __future__ import annotations
@@ -117,6 +120,23 @@ def build_parser():
     overload.add_argument("--duration-ms", type=float, default=20_000.0)
     overload.add_argument("--warmup", type=int, default=300)
     overload.add_argument("--seed", type=int, default=0)
+
+    drift = sub.add_parser(
+        "drift",
+        help="guarded vs unguarded serving under mid-episode drift",
+    )
+    drift.add_argument("--scenario", default="all",
+                       choices=("stationary", "rssi_shift",
+                                "corunner_flip", "cloud_slowdown", "all"),
+                       help="which mid-episode world shift to inject")
+    drift.add_argument("--device", default="mi8pro")
+    drift.add_argument("--network", default="resnet_50")
+    drift.add_argument("--qos-ms", type=float, default=200.0)
+    drift.add_argument("--arrivals-per-s", type=float, default=5.0)
+    drift.add_argument("--duration-ms", type=float, default=60_000.0)
+    drift.add_argument("--drift-at-ms", type=float, default=20_000.0)
+    drift.add_argument("--warmup", type=int, default=400)
+    drift.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -245,6 +265,41 @@ def _cmd_overload(args, out):
     return 0
 
 
+def _cmd_drift(args, out):
+    from repro.evalharness.drift import DRIFT_SCENARIOS, drift_episode
+    from repro.hardware.devices import build_device
+
+    scenarios = (tuple(DRIFT_SCENARIOS) if args.scenario == "all"
+                 else (args.scenario,))
+    device = build_device(args.device)
+    header = (f"{'scenario':14s} {'guard':5s} {'offered':>7s} "
+              f"{'post-drift viol':>15s} {'stage':8s} "
+              f"{'escalations':>11s} alarms")
+    out.write(header + "\n")
+    for scenario in scenarios:
+        for guarded in (False, True):
+            row = drift_episode(
+                scenario, guarded, device=device,
+                network_name=args.network, qos_ms=args.qos_ms,
+                arrivals_per_s=args.arrivals_per_s,
+                duration_ms=args.duration_ms,
+                drift_at_ms=args.drift_at_ms,
+                warmup_requests=args.warmup, seed=args.seed,
+            )
+            guard = row["guard"]
+            alarms = ",".join(f"{name}x{count}" for name, count
+                              in guard["alarms"].items()) or "-"
+            out.write(
+                f"{row['scenario']:14s} {'on' if guarded else 'off':5s} "
+                f"{row['offered']:7d} "
+                f"{row['post_drift_violations']:5d} "
+                f"({row['post_drift_violation_pct']:5.1f}%) "
+                f"{guard['stage']:8s} {guard['escalations']:11d} "
+                f"{alarms}\n"
+            )
+    return 0
+
+
 def _cmd_report(args, out):
     from repro.evalharness.report import generate_report
 
@@ -268,6 +323,8 @@ def main(argv=None, out=None):
         return _cmd_report(args, out)
     if args.command == "overload":
         return _cmd_overload(args, out)
+    if args.command == "drift":
+        return _cmd_drift(args, out)
     raise ConfigError(f"unhandled command {args.command!r}")
 
 

@@ -479,7 +479,7 @@ class BatchTrainer:
             else:
                 next_state = encode(network, observe())
             if faithful:
-                qtable.update(state, action, reward, next_state)
+                q_delta = qtable.update(state, action, reward, next_state)
             else:
                 # QTable.update's expression chain, verbatim (np.max
                 # dispatches to ndarray.max; same bits, less overhead).
@@ -488,12 +488,14 @@ class BatchTrainer:
                 values[state, action] += delta
                 visits[state, action] += 1
                 qtable.update_count += 1
+                q_delta = float(delta)
             if not explored:
                 converge_observe(reward, executed_action=action)
             update_append((perf_counter() - started) * 1e6)
             record = AutoScaleStep(
                 state=state, action=action, target_key=target_keys[action],
                 reward=reward, result=result, explored=explored,
+                q_delta=q_delta,
             )
             history_append(record)
             steps.append(record)

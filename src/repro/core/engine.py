@@ -30,7 +30,12 @@ __all__ = ["AutoScaleStep", "BoundedHistory", "OverheadStats",
 
 @dataclass(frozen=True)
 class AutoScaleStep:
-    """Everything produced by one observe-select-execute-update cycle."""
+    """Everything produced by one observe-select-execute-update cycle.
+
+    ``q_delta`` is the signed Q-table increment the update applied
+    (``0.0`` with training frozen) — the raw temporal-difference signal
+    the policy guard's surge detector consumes.
+    """
 
     state: int
     action: int
@@ -38,6 +43,7 @@ class AutoScaleStep:
     reward: float
     result: object
     explored: bool
+    q_delta: float = 0.0
 
 
 class StreamingSeries:
@@ -385,10 +391,11 @@ class AutoScale:
 
         started = time.perf_counter()
         reward = compute_reward(result, use_case, self.reward_config)
+        q_delta = 0.0
         if self.training:
             next_observation = env.observe()
             next_state = self.observe_state(network, next_observation)
-            self.qtable.update(state, action, reward, next_state)
+            q_delta = self.qtable.update(state, action, reward, next_state)
             # Exploration steps are deliberate off-policy probes; feeding
             # their rewards to the detector would make the "converged"
             # reward stream look noisy forever.
@@ -401,6 +408,7 @@ class AutoScale:
         record = AutoScaleStep(
             state=state, action=action, target_key=target.key,
             reward=reward, result=result, explored=explored,
+            q_delta=q_delta,
         )
         self.history.append(record)
         return record

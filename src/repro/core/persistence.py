@@ -29,15 +29,19 @@ from repro.common import ConfigError
 from repro.core.engine import AutoScale
 from repro.core.qlearning import QLearningConfig, QTable
 from repro.core.reward import RewardConfig
+from repro.guard import GuardConfig, PolicyGuard
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = ["save_engine", "load_engine", "save_guard", "load_guard"]
 
 _META_NAME = "meta.json"
 _TABLE_NAME = "qtable.npz"
 # ``np.savez`` appends ".npz" when missing, so the temp name keeps it.
 _TABLE_TMP_NAME = "qtable.tmp.npz"
 _META_TMP_NAME = "meta.json.tmp"
+_GUARD_NAME = "guard.json"
+_GUARD_TMP_NAME = "guard.json.tmp"
 _FORMAT_VERSION = 1
+_GUARD_FORMAT_VERSION = 1
 
 
 def _sha256_of(path):
@@ -140,3 +144,79 @@ def load_engine(directory, environment, seed=None):
             )
     engine.qtable = QTable.load(table_path, config=config)
     return engine
+
+
+def _canonical_guard_digest(state):
+    """SHA-256 over the canonical (sorted-keys) JSON of a guard state."""
+    blob = json.dumps(state, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def save_guard(guard, directory):
+    """Persist a :class:`~repro.guard.PolicyGuard` beside the engine.
+
+    Same crash-safety contract as :func:`save_engine`: the blob lands
+    via temp-file + ``os.replace`` and embeds a SHA-256 over the
+    canonical state JSON, so :func:`load_guard` detects a torn or
+    tampered blob before arming a supervisor from it.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    state = guard.state_dict()
+    blob = {
+        "format_version": _GUARD_FORMAT_VERSION,
+        "config": guard.config.as_dict(),
+        "state": state,
+        "state_sha256": _canonical_guard_digest(state),
+    }
+    guard_tmp = path / _GUARD_TMP_NAME
+    guard_tmp.write_text(json.dumps(blob, indent=2))
+    guard_path = path / _GUARD_NAME
+    os.replace(guard_tmp, guard_path)
+    return guard_path
+
+
+def load_guard(directory):
+    """Reconstruct a persisted guard, or ``None`` when the checkpoint
+    predates the guard (no ``guard.json``).
+
+    Raises :class:`ConfigError` on an unsupported format, a digest
+    mismatch, or a malformed state blob — an armed supervisor must be
+    restored exactly or not at all.
+    """
+    guard_path = pathlib.Path(directory) / _GUARD_NAME
+    if not guard_path.exists():
+        return None
+    try:
+        blob = json.loads(guard_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigError(
+            f"corrupt guard checkpoint at {guard_path}: {error}"
+        ) from None
+    if not isinstance(blob, dict):
+        raise ConfigError(
+            f"corrupt guard checkpoint at {guard_path}: not an object"
+        )
+    if blob.get("format_version") != _GUARD_FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported guard format {blob.get('format_version')!r}"
+        )
+    try:
+        config = GuardConfig(**blob["config"])
+        state = blob["state"]
+        expected_sha256 = blob["state_sha256"]
+    except (KeyError, TypeError) as error:
+        raise ConfigError(
+            f"corrupt guard checkpoint at {guard_path}: {error}"
+        ) from None
+    actual_sha256 = _canonical_guard_digest(state)
+    if actual_sha256 != expected_sha256:
+        raise ConfigError(
+            f"corrupt guard checkpoint: {guard_path} state has sha256 "
+            f"{actual_sha256[:12]}…, blob recorded "
+            f"{str(expected_sha256)[:12]}… — the checkpoint was torn or "
+            "modified after saving"
+        )
+    guard = PolicyGuard(config)
+    guard.load_state_dict(state)
+    return guard

@@ -30,10 +30,16 @@ import numpy as np
 
 from repro.common import ConfigError, UnknownKeyError, make_rng
 from repro.core.engine import AutoScale
-from repro.core.persistence import load_engine, save_engine
+from repro.core.persistence import (
+    load_engine,
+    load_guard,
+    save_engine,
+    save_guard,
+)
 from repro.core.tracing import TraceRecorder, load_trace
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.resilience import ResiliencePolicy
+from repro.guard import GuardConfig, PolicyGuard
 from repro.sim.events import EventKind
 
 __all__ = ["AutoScaleService"]
@@ -43,7 +49,7 @@ class AutoScaleService:
     """A deployable wrapper around one engine and its bookkeeping."""
 
     def __init__(self, environment, engine=None, seed=None,
-                 trace_limit=10_000, resilience=None):
+                 trace_limit=10_000, resilience=None, guard=None):
         if trace_limit < 1:
             raise ConfigError("trace_limit must be >= 1")
         self.environment = environment
@@ -52,6 +58,14 @@ class AutoScaleService:
         self.trace_limit = trace_limit
         self.resilience = (resilience if resilience is not None
                            else ResiliencePolicy.disabled())
+        # The policy guard (see repro.guard) defaults to the inert
+        # configuration: no ticks, no detector feeds, bit-identical
+        # serving.  The serving pipeline hosts its GUARD_TICK loop.
+        self.guard = (guard if guard is not None
+                      else PolicyGuard(GuardConfig.disabled()))
+        # Pre-escalation engine hyperparameters, parked here by the
+        # serving pipeline while the guard holds a non-HEALTHY stage.
+        self._guard_base = None
         self._retry_rng = make_rng(seed)
         self._breakers = {}
         self._registered = {}
@@ -112,7 +126,7 @@ class AutoScaleService:
         return ServingPipeline(self, config).serve(arrivals)
 
     def _handle_resilient(self, use_case, extra_allowed=None,
-                          queue_delay_ms=0.0, tier="normal"):
+                          queue_delay_ms=0.0, tier="normal", reason=""):
         """The resilient request path: deadline, retries, degradation.
 
         Every attempt goes through the engine's full Algorithm-1 cycle,
@@ -146,6 +160,7 @@ class AutoScaleService:
                     status="ok", retries=attempts - 1,
                     failed_energy_mj=failed_energy_mj,
                     queue_delay_ms=queue_delay_ms, tier=tier,
+                    reason=reason,
                 )
                 return step.result
             failed_energy_mj += step.result.energy_mj
@@ -162,6 +177,7 @@ class AutoScaleService:
                 status="failed", retries=attempts - 1,
                 failed_energy_mj=failed_energy_mj - step.result.energy_mj,
                 queue_delay_ms=queue_delay_ms, tier=tier,
+                reason=reason,
             )
             return step.result
         self.trace.record_result(
@@ -169,6 +185,7 @@ class AutoScaleService:
             status="degraded", retries=attempts - 1,
             failed_energy_mj=failed_energy_mj,
             queue_delay_ms=queue_delay_ms, tier=tier,
+            reason=reason,
         )
         return result
 
@@ -290,6 +307,7 @@ class AutoScaleService:
             "qtable_mb": self.engine.memory_footprint_bytes() / 1e6,
             "converged": self.engine.converged,
             "breakers": self.breaker_states(),
+            "guard": self.guard.status(),
         }
         fault_stats = getattr(self.environment, "fault_stats", None)
         if fault_stats is not None:
@@ -303,25 +321,36 @@ class AutoScaleService:
     # ------------------------------------------------------------------
 
     def checkpoint(self, directory):
-        """Persist the trained table (and the current trace) to disk."""
+        """Persist the trained table (and the current trace) to disk.
+
+        An *enabled* policy guard is serialized alongside (detector
+        baselines, CUSUM accumulators, dwell counters, stage), so a
+        restart mid-incident resumes the supervisor exactly where it
+        was instead of silently re-arming a healthy one.
+        """
         path = save_engine(self.engine, directory)
         if len(self.trace):
             self.trace.save(pathlib.Path(directory) / "trace.jsonl")
+        if self.guard.enabled:
+            save_guard(self.guard, directory)
         return path
 
     @classmethod
     def restore(cls, directory, environment, seed=None,
-                trace_limit=10_000, resilience=None):
+                trace_limit=10_000, resilience=None, guard=None):
         """Reconstruct a service from a checkpoint.
 
         Restores the trained table *and* the rolling trace (when the
         checkpoint saved one), bounded by ``trace_limit`` — so a
         restarted service resumes with its observability intact instead
-        of an empty history.
+        of an empty history.  A persisted guard blob is restored the
+        same way unless an explicit ``guard`` overrides it.
         """
         engine = load_engine(directory, environment, seed=seed)
+        if guard is None:
+            guard = load_guard(directory)
         service = cls(environment, engine=engine, trace_limit=trace_limit,
-                      resilience=resilience)
+                      resilience=resilience, guard=guard)
         trace_path = pathlib.Path(directory) / "trace.jsonl"
         if trace_path.exists():
             service.trace = load_trace(trace_path,

@@ -49,6 +49,13 @@ class TraceRecord:
     being shed), and the brownout tier it was served under.  QoS is
     judged end-to-end — queueing delay counts against the deadline just
     like service latency does.
+
+    ``reason`` is the degradation reason code in force when the record
+    was written — ``"guard/<stage>"`` under an escalated policy guard,
+    ``"brownout/<tier>"`` under an escalated brownout with a healthy
+    guard, empty for a normally served request.  Unlike ``tier`` it is
+    stamped on *every* row (including sheds), so a trace reader can
+    attribute any record to the regime that produced it.
     """
 
     index: int
@@ -67,6 +74,7 @@ class TraceRecord:
     failed_energy_mj: float = 0.0
     queue_delay_ms: float = 0.0
     tier: str = "normal"
+    reason: str = ""
 
     def __post_init__(self):
         ensure_duration_ms(self.at_ms, "at_ms")
@@ -138,7 +146,7 @@ class TraceRecorder:
 
     def record_step(self, step, use_case, at_ms=None, status=None,
                     retries=0, failed_energy_mj=0.0, queue_delay_ms=0.0,
-                    tier="normal"):
+                    tier="normal", reason=""):
         """Capture one engine :class:`AutoScaleStep`.
 
         ``status`` defaults from the result itself (``"failed"`` for a
@@ -168,12 +176,13 @@ class TraceRecorder:
             failed_energy_mj=failed_energy_mj,
             queue_delay_ms=queue_delay_ms,
             tier=tier,
+            reason=reason,
         ))
         return self.records[-1]
 
     def record_result(self, result, use_case, at_ms=None, status=None,
                       retries=0, failed_energy_mj=0.0, queue_delay_ms=0.0,
-                      tier="normal"):
+                      tier="normal", reason=""):
         """Capture a bare :class:`ExecutionResult` (baseline schedulers,
         and the resilient service's degraded-mode fallback)."""
         self._trim()
@@ -194,16 +203,20 @@ class TraceRecorder:
             failed_energy_mj=failed_energy_mj,
             queue_delay_ms=queue_delay_ms,
             tier=tier,
+            reason=reason,
         ))
         return self.records[-1]
 
-    def record_shed(self, shed, use_case):
+    def record_shed(self, shed, use_case, tier="normal", reason=""):
         """Capture a :class:`~repro.serving.SheddedRequest`.
 
         Shed records bill zero latency and zero energy; their
         ``target_key`` carries the shed reason (``"shed/<reason>"``) so
         :meth:`decisions_by_location` and per-target breakdowns keep a
-        visible ``shed`` bucket.
+        visible ``shed`` bucket.  ``tier``/``reason`` stamp the brownout
+        tier and degradation regime in force at shed time — previously
+        sheds always recorded the default tier, hiding which regime was
+        refusing work.
         """
         self._trim()
         self.records.append(TraceRecord(
@@ -218,6 +231,8 @@ class TraceRecorder:
             qos_ms=use_case.qos_ms,
             status="shed",
             queue_delay_ms=shed.queue_delay_ms,
+            tier=tier,
+            reason=reason,
         ))
         return self.records[-1]
 

@@ -35,6 +35,13 @@ from repro.evalharness.overload import (
     overload_episode,
     overload_sweep,
 )
+from repro.evalharness.drift import (
+    DRIFT_SCENARIOS,
+    DriftScenario,
+    build_drift_scenario,
+    drift_episode,
+    drift_sweep,
+)
 from repro.evalharness.metrics import (
     EpisodeStats,
     availability_pct,
@@ -103,6 +110,11 @@ __all__ = [
     "SERVING_POLICIES",
     "overload_episode",
     "overload_sweep",
+    "DRIFT_SCENARIOS",
+    "DriftScenario",
+    "build_drift_scenario",
+    "drift_episode",
+    "drift_sweep",
     "EpisodeStats",
     "availability_pct",
     "decision_match",

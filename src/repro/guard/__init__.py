@@ -1,0 +1,39 @@
+"""Runtime policy guardrails: drift detection and staged safe fallback.
+
+The paper's Q-learning scheduler adapts to the world it trains in; this
+package watches whether the world it *serves* still resembles that one.
+Three streaming detectors (:mod:`repro.guard.detectors`) feed a
+hysteretic supervisor (:mod:`repro.guard.supervisor`) that escalates
+HEALTHY -> READAPT -> SHADOW -> DEGRADE on sustained alarms and walks
+back down one rung per quiet dwell.  The serving pipeline hosts the
+supervisor and drives it from typed ``GUARD_TICK`` events on the
+:mod:`repro.sim` heap; ``GuardConfig.disabled()`` (the default) is
+bit-identical to serving without the package.
+
+Layering: ``repro.guard`` sits beside ``repro.faults``/``repro.baselines``
+(rank 6) — below ``repro.core`` and ``repro.serving``, which depend on
+it downward; the package itself imports only ``repro.common`` and the
+analysis contracts.
+"""
+
+from repro.guard.detectors import (
+    QSurgeDetector,
+    ResidualDetector,
+    StreakDetector,
+)
+from repro.guard.supervisor import (
+    GuardConfig,
+    GuardStage,
+    GuardTransition,
+    PolicyGuard,
+)
+
+__all__ = [
+    "GuardConfig",
+    "GuardStage",
+    "GuardTransition",
+    "PolicyGuard",
+    "QSurgeDetector",
+    "ResidualDetector",
+    "StreakDetector",
+]

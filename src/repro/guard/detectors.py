@@ -1,0 +1,291 @@
+"""Streaming policy-health detectors.
+
+Three detector families feed the :class:`~repro.guard.PolicyGuard`
+supervisor, each watching one way a trained Q-policy can drift out of
+validity:
+
+- :class:`ResidualDetector` — the *cost model* drifting: per-request
+  relative residuals between the nominal ``estimate_all`` prediction for
+  the chosen action and the billed :class:`ExecutionResult`, tracked as
+  a streaming baseline plus a standardized two-sided CUSUM per
+  ``(network, state)`` bucket.  This fires on unmodeled shifts (cloud
+  slowdown, straggler storms) that leave the state encoding untouched.
+- :class:`StreakDetector` — the *outcome stream* drifting: consecutive
+  QoS violations, failures, or sheds.  This fires on modeled-but-
+  unlearned shifts (RSSI drop, co-runner flip) where requests land in
+  state buckets the table never trained under and the stale argmax
+  starts missing deadlines.
+- :class:`QSurgeDetector` — the *learning core* reporting turbulence:
+  a sustained surge of Q-update magnitudes (temporal-difference errors)
+  relative to a frozen warmup baseline.
+
+All three are RNG-free and wall-clock-free: they consume only values the
+serving path already computes, so an armed guard perturbs neither the
+random streams nor the virtual timeline.  Alarms are *edge-triggered*
+and latched: a detector appends a reason code to its pending list when a
+statistic crosses its threshold, and the supervisor drains the list once
+per ``GUARD_TICK``.
+
+Every detector round-trips exactly through ``state_dict`` /
+``load_state_dict`` so an armed guard survives the crash-safe
+checkpoints (see :mod:`repro.core.persistence`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.common import ConfigError
+
+__all__ = ["ResidualDetector", "StreakDetector", "QSurgeDetector"]
+
+
+def _ensure_positive_int(value, name):
+    if not isinstance(value, int) or value < 1:
+        raise ConfigError(f"{name} must be an int >= 1, got {value!r}")
+
+
+def _ensure_positive(value, name):
+    if not (isinstance(value, (int, float)) and math.isfinite(value)
+            and value > 0):
+        raise ConfigError(f"{name} must be finite and > 0, got {value!r}")
+
+
+class ResidualDetector:
+    """Nominal-vs-actual cost residuals, one CUSUM per bucket.
+
+    Each bucket (keyed by the caller, conventionally
+    ``"<network>|<state>"``) learns a residual baseline during its first
+    ``warmup`` samples via Welford's online mean/variance, then freezes
+    the baseline and runs a standardized two-sided CUSUM over the
+    subsequent samples:
+
+    ``s = (residual - mu) / sigma``;
+    ``pos = max(0, pos + s - k_sigma)``;
+    ``neg = max(0, neg - s - k_sigma)``.
+
+    An alarm fires when either accumulator exceeds ``h_sigma``; both
+    reset to zero so the next alarm is earned from scratch.  With a
+    step change of ``delta`` standard deviations, detection is
+    guaranteed within ``ceil(h_sigma / (delta - k_sigma))`` post-change
+    samples — the bound the seeded property tests pin.
+    """
+
+    def __init__(self, warmup=40, k_sigma=1.0, h_sigma=16.0,
+                 min_sigma=1e-3):
+        _ensure_positive_int(warmup, "residual warmup")
+        _ensure_positive(k_sigma, "k_sigma")
+        _ensure_positive(h_sigma, "h_sigma")
+        _ensure_positive(min_sigma, "min_sigma")
+        if warmup < 8:
+            raise ConfigError(
+                f"residual warmup must be >= 8 samples for a usable "
+                f"sigma estimate, got {warmup}"
+            )
+        self.warmup = warmup
+        self.k_sigma = float(k_sigma)
+        self.h_sigma = float(h_sigma)
+        self.min_sigma = float(min_sigma)
+        self.alarms = 0
+        self._buckets: Dict[str, Dict[str, float]] = {}
+        self._pending: List[str] = []
+
+    def note(self, bucket_key, residual):
+        """Feed one relative residual into its bucket."""
+        if not math.isfinite(residual):
+            return
+        bucket = self._buckets.get(bucket_key)
+        if bucket is None:
+            bucket = {"count": 0.0, "mu": 0.0, "m2": 0.0,
+                      "pos": 0.0, "neg": 0.0}
+            self._buckets[bucket_key] = bucket
+        count = bucket["count"] + 1.0
+        bucket["count"] = count
+        if count <= self.warmup:
+            # Welford's online mean/variance; frozen once warmup ends.
+            delta = residual - bucket["mu"]
+            bucket["mu"] += delta / count
+            bucket["m2"] += delta * (residual - bucket["mu"])
+            return
+        sigma = max(math.sqrt(bucket["m2"] / (self.warmup - 1)),
+                    self.min_sigma)
+        score = (residual - bucket["mu"]) / sigma
+        bucket["pos"] = max(0.0, bucket["pos"] + score - self.k_sigma)
+        bucket["neg"] = max(0.0, bucket["neg"] - score - self.k_sigma)
+        if bucket["pos"] > self.h_sigma or bucket["neg"] > self.h_sigma:
+            bucket["pos"] = 0.0
+            bucket["neg"] = 0.0
+            self.alarms += 1
+            self._pending.append("residual_cusum")
+
+    def drain(self):
+        """Return and clear the pending alarm reasons (edge-triggered)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def reset_transients(self):
+        """Zero the CUSUM accumulators; keep the learned baselines.
+
+        Called on supervisor stage transitions so each stage's alarms
+        are earned by fresh post-transition evidence.
+        """
+        for bucket in self._buckets.values():
+            bucket["pos"] = 0.0
+            bucket["neg"] = 0.0
+        self._pending = []
+
+    def state_dict(self):
+        return {
+            "alarms": self.alarms,
+            "pending": list(self._pending),
+            "buckets": {key: dict(bucket)
+                        for key, bucket in sorted(self._buckets.items())},
+        }
+
+    def load_state_dict(self, state):
+        try:
+            self.alarms = int(state["alarms"])
+            self._pending = [str(r) for r in state["pending"]]
+            self._buckets = {
+                str(key): {field: float(bucket[field])
+                           for field in ("count", "mu", "m2", "pos", "neg")}
+                for key, bucket in state["buckets"].items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(
+                f"corrupt residual-detector state: {error}"
+            ) from None
+
+
+class StreakDetector:
+    """Consecutive bad serving outcomes (QoS misses, failures, sheds)."""
+
+    def __init__(self, limit=8, reason="qos_streak"):
+        _ensure_positive_int(limit, "streak limit")
+        self.limit = limit
+        self.reason = str(reason)
+        self.streak = 0
+        self.alarms = 0
+        self._pending: List[str] = []
+
+    def note(self, ok):
+        if ok:
+            self.streak = 0
+            return
+        self.streak += 1
+        if self.streak >= self.limit:
+            # Re-arm: a persisting crisis keeps alarming every ``limit``
+            # further bad outcomes, pressing the supervisor upward.
+            self.streak = 0
+            self.alarms += 1
+            self._pending.append(self.reason)
+
+    def drain(self):
+        pending, self._pending = self._pending, []
+        return pending
+
+    def reset_transients(self):
+        self.streak = 0
+        self._pending = []
+
+    def state_dict(self):
+        return {"streak": self.streak, "alarms": self.alarms,
+                "pending": list(self._pending)}
+
+    def load_state_dict(self, state):
+        try:
+            self.streak = int(state["streak"])
+            self.alarms = int(state["alarms"])
+            self._pending = [str(r) for r in state["pending"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(
+                f"corrupt streak-detector state: {error}"
+            ) from None
+
+
+class QSurgeDetector:
+    """Sustained surges in Q-update magnitude.
+
+    Consumes ``|delta| / gamma`` per update — the raw temporal-
+    difference error, normalized by the active learning rate so a
+    READAPT-boosted rate cannot self-excite the detector.  The first
+    ``warmup`` updates freeze a baseline mean magnitude; afterwards a
+    fast EWMA tracks the recent magnitude and an alarm fires when it
+    stays above ``factor x baseline`` for ``sustain`` consecutive
+    updates.
+    """
+
+    def __init__(self, warmup=60, factor=8.0, sustain=12, alpha=0.2,
+                 floor=1e-6):
+        _ensure_positive_int(warmup, "q-surge warmup")
+        _ensure_positive(factor, "q-surge factor")
+        _ensure_positive_int(sustain, "q-surge sustain")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"q-surge alpha outside (0, 1]: {alpha}")
+        _ensure_positive(floor, "q-surge floor")
+        if factor <= 1.0:
+            raise ConfigError(
+                f"q-surge factor must exceed 1.0, got {factor}"
+            )
+        self.warmup = warmup
+        self.factor = float(factor)
+        self.sustain = sustain
+        self.alpha = float(alpha)
+        self.floor = float(floor)
+        self.count = 0
+        self.baseline = 0.0
+        self.fast = 0.0
+        self.high = 0
+        self.alarms = 0
+        self._pending: List[str] = []
+
+    def note(self, magnitude):
+        if not math.isfinite(magnitude):
+            return
+        magnitude = abs(magnitude)
+        self.count += 1
+        if self.count <= self.warmup:
+            # Running mean during warmup; frozen afterwards.
+            self.baseline += (magnitude - self.baseline) / self.count
+            self.fast = self.baseline
+            return
+        self.fast += self.alpha * (magnitude - self.fast)
+        threshold = self.factor * max(self.baseline, self.floor)
+        if self.fast > threshold:
+            self.high += 1
+            if self.high >= self.sustain:
+                self.high = 0
+                self.alarms += 1
+                self._pending.append("q_surge")
+        else:
+            self.high = 0
+
+    def drain(self):
+        pending, self._pending = self._pending, []
+        return pending
+
+    def reset_transients(self):
+        self.high = 0
+        self.fast = self.baseline
+        self._pending = []
+
+    def state_dict(self):
+        return {
+            "count": self.count, "baseline": self.baseline,
+            "fast": self.fast, "high": self.high, "alarms": self.alarms,
+            "pending": list(self._pending),
+        }
+
+    def load_state_dict(self, state):
+        try:
+            self.count = int(state["count"])
+            self.baseline = float(state["baseline"])
+            self.fast = float(state["fast"])
+            self.high = int(state["high"])
+            self.alarms = int(state["alarms"])
+            self._pending = [str(r) for r in state["pending"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(
+                f"corrupt q-surge-detector state: {error}"
+            ) from None

@@ -29,13 +29,14 @@ shedder and the brownout controller draw no RNG.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis.contracts import ensure_duration_ms
 from repro.common import ConfigError
+from repro.guard import GuardConfig, GuardStage, PolicyGuard
 from repro.serving.arrivals import Arrival
 from repro.sim.events import EventKind
 from repro.serving.brownout import (
@@ -141,6 +142,12 @@ class ServingPipeline:
         self.queue = AdmissionQueue(self.config.queue_capacity)
         self.brownout = BrownoutController(self.config.brownout)
         self.shed_stats = ShedStats()
+        # The policy guard lives on the service (it outlives any single
+        # pipeline); the pipeline hosts its GUARD_TICK loop and reads
+        # the stage back at decision time.
+        self.guard = (getattr(service, "guard", None)
+                      or PolicyGuard(GuardConfig.disabled()))
+        self._guard_handle = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -207,19 +214,98 @@ class ServingPipeline:
             kernel.schedule(arrival.at_ms, EventKind.ARRIVAL,
                             payload=arrival, callback=deliver)
             pending_ms.append(arrival.at_ms)
-        while True:
-            kernel.fire_due()
-            now_ms = env.clock.now_ms
-            while due:
-                self._admit(due.popleft(), now_ms, outcomes)
-            if self.queue.depth == 0:
-                if not pending_ms:
-                    return outcomes
-                # Idle: jump the clock to the next arrival (the advance
-                # fires its event, filling the due-buffer).
-                env.advance_clock_to(pending_ms[0])
-                continue
-            self._drain_cycle(outcomes)
+        if self.guard.enabled:
+            # A restored guard may already be escalated: actuate its
+            # stage before the first request, then start the periodic
+            # GUARD_TICK loop on the shared heap (no per-cycle sweeps).
+            self._apply_guard_stage()
+            self._guard_handle = kernel.schedule_in(
+                self.guard.config.tick_interval_ms, EventKind.GUARD_TICK,
+                callback=self._on_guard_tick,
+            )
+        try:
+            while True:
+                kernel.fire_due()
+                now_ms = env.clock.now_ms
+                while due:
+                    self._admit(due.popleft(), now_ms, outcomes)
+                if self.queue.depth == 0:
+                    if not pending_ms:
+                        return outcomes
+                    # Idle: jump the clock to the next arrival (the
+                    # advance fires its event, filling the due-buffer).
+                    env.advance_clock_to(pending_ms[0])
+                    continue
+                self._drain_cycle(outcomes)
+        finally:
+            if self._guard_handle is not None:
+                self._guard_handle.cancel()
+                self._guard_handle = None
+
+    def _on_guard_tick(self, event):
+        """One ``GUARD_TICK``: evaluate the supervisor, re-arm the next
+        tick.
+
+        The next tick keeps the nominal cadence (anchored at the due
+        instant, not the firing instant) unless a long execution pushed
+        the clock past it, in which case it re-anchors at *now* — one
+        evaluation per elapsed interval, never a catch-up burst of
+        back-to-back ticks over the same evidence.
+        """
+        env = self.service.environment
+        if self.guard.evaluate(env.clock.now_ms):
+            self._apply_guard_stage()
+        next_ms = event.time_ms + self.guard.config.tick_interval_ms
+        if next_ms <= env.clock.now_ms:
+            next_ms = env.clock.now_ms + self.guard.config.tick_interval_ms
+        self._guard_handle = env.kernel.schedule(
+            next_ms, EventKind.GUARD_TICK, callback=self._on_guard_tick,
+        )
+
+    def _apply_guard_stage(self):
+        """Actuate the supervisor's stage on the learning engine.
+
+        READAPT boosts the learning rate (capped at 1.0) and re-enables
+        exploration via a temporary :class:`QLearningConfig`; SHADOW and
+        DEGRADE restore the base hyperparameters but force training on,
+        so the table keeps learning *off-policy* from the shadow
+        decisions; HEALTHY restores the pre-escalation configuration
+        exactly.  The base is parked on the *service* (which outlives
+        any single pipeline) so a fresh pipeline created mid-incident
+        cannot mistake a boosted config for the baseline.
+        """
+        service = self.service
+        engine = service.engine
+        stage = self.guard.stage
+        base = getattr(service, "_guard_base", None)
+        if stage is GuardStage.HEALTHY:
+            if base is not None:
+                base_config, base_training = base
+                engine.config = base_config
+                engine.qtable.config = base_config
+                engine.training = base_training
+                service._guard_base = None
+            return
+        if base is None:
+            base = (engine.config, engine.training)
+            service._guard_base = base
+        base_config, _ = base
+        if stage is GuardStage.READAPT:
+            boosted = replace(
+                base_config,
+                learning_rate=min(
+                    1.0,
+                    base_config.learning_rate
+                    * self.guard.config.readapt_gamma_scale,
+                ),
+                epsilon=self.guard.config.readapt_epsilon,
+            )
+            engine.config = boosted
+            engine.qtable.config = boosted
+        else:
+            engine.config = base_config
+            engine.qtable.config = base_config
+        engine.training = True
 
     def _admit(self, arrival, now_ms, outcomes):
         self.shed_stats.note_offered()
@@ -241,7 +327,12 @@ class ServingPipeline:
             queue_delay_ms=request.queue_delay_ms(now_ms),
         )
         self.shed_stats.note_shed(reason)
-        self.service.trace.record_shed(shed, request.use_case)
+        self.service.trace.record_shed(
+            shed, request.use_case,
+            tier=self.brownout.tier.value,
+            reason=self._trace_reason(),
+        )
+        self.guard.note_refusal()
         outcomes.append(ServedRequest(
             request.arrival, shed,
             queue_delay_ms=shed.queue_delay_ms,
@@ -286,13 +377,31 @@ class ServingPipeline:
                                outcomes)
                     continue
             wait_ms = request.queue_delay_ms(now_ms)
+            guard = self.guard
+            shadowing = (guard.enabled
+                         and guard.stage.depth >= GuardStage.SHADOW.depth)
             if service.resilience.enabled:
                 outcome = self._serve_resilient(use_case, wait_ms, tier)
+                if guard.enabled:
+                    if getattr(outcome, "failed", False):
+                        guard.note_refusal()
+                    else:
+                        guard.note_qos(wait_ms + outcome.latency_ms
+                                       <= use_case.qos_ms)
             else:
                 state = engine.observe_state(use_case.network, observation)
                 key = (use_case.network.name, state)
                 if key not in decisions:
-                    if browned:
+                    if shadowing:
+                        # SHADOW/DEGRADE: the nominal-argmin baseline
+                        # decides (zero extra energy — the sweep is the
+                        # cached cost model, not an execution); the Q
+                        # update below still runs off-policy.
+                        decisions[key] = (self._shadow_action(
+                            use_case, observation, mask,
+                            local_only=guard.stage is GuardStage.DEGRADE,
+                        ), False)
+                    elif browned:
                         decisions[key] = (self._brownout_action(
                             use_case, observation, mask), False)
                     else:
@@ -305,8 +414,11 @@ class ServingPipeline:
                 service.trace.record_step(
                     step, use_case, at_ms=env.clock.now_ms,
                     queue_delay_ms=wait_ms, tier=tier.value,
+                    reason=self._trace_reason(),
                 )
                 outcome = step.result
+                if guard.enabled:
+                    self._feed_guard(step, use_case, observation, wait_ms)
             self.shed_stats.note_served()
             outcomes.append(ServedRequest(
                 request.arrival, outcome,
@@ -335,6 +447,71 @@ class ServingPipeline:
         pool = fits if len(fits) else indices
         return int(pool[np.argmin(energies[pool])])
 
+    def _shadow_action(self, use_case, observation, mask, local_only):
+        """The guard's shadow baseline: nominal-argmin via
+        ``estimate_all``.
+
+        SHADOW picks the cheapest accuracy+QoS-feasible target under
+        the *current* nominal cost model — no learned state involved,
+        and zero extra energy since the sweep is the cached estimator.
+        DEGRADE additionally restricts to local targets (the PR 3
+        graceful-degradation posture), falling back to the full allowed
+        set only when the masks leave no local target at all.  Breaker
+        and brownout masks keep applying in both stages.
+        """
+        env = self.service.environment
+        sweep = env.estimate_all(use_case.network, observation)
+        energies = np.asarray(sweep.energy_mj)
+        allowed = (np.asarray(mask, dtype=bool)
+                   if mask is not None and np.any(mask)
+                   else np.ones(len(energies), dtype=bool))
+        if local_only:
+            local = np.array(
+                [not target.is_remote for target in env.targets()],
+                dtype=bool,
+            )
+            if np.any(allowed & local):
+                allowed = allowed & local
+        indices = [int(i) for i in np.flatnonzero(allowed)]
+        best = sweep.argbest(use_case, indices=indices)
+        if best is None:
+            best = int(indices[int(np.argmin(energies[indices]))])
+        return int(best)
+
+    def _feed_guard(self, step, use_case, observation, wait_ms):
+        """Feed one completed engine step to the guard's detectors.
+
+        The residual compares the *a-priori* nominal energy for the
+        chosen action (from the same observation the decision used)
+        against the billed outcome — not ``estimated_energy_mj``, which
+        is derived from the measured latency and would track stragglers
+        instead of exposing them.
+        """
+        guard = self.guard
+        result = step.result
+        if getattr(result, "failed", False):
+            guard.note_refusal()
+        else:
+            sweep = self.service.environment.estimate_all(
+                use_case.network, observation)
+            nominal_mj = float(np.asarray(sweep.energy_mj)[step.action])
+            guard.note_result(
+                f"{use_case.network.name}|{step.state}",
+                nominal_mj, result.energy_mj,
+                wait_ms + result.latency_ms <= use_case.qos_ms,
+            )
+        if self.service.engine.training:
+            guard.note_q_delta(step.q_delta,
+                               self.service.engine.config.learning_rate)
+
+    def _trace_reason(self):
+        """The degradation reason code for trace rows written now."""
+        if self.guard.active:
+            return self.guard.annotation()
+        if self.brownout.tier is not BrownoutTier.NORMAL:
+            return f"brownout/{self.brownout.tier.value}"
+        return ""
+
     def _serve_resilient(self, use_case, wait_ms, tier):
         """One request through PR 3's retry/breaker/degrade path.
 
@@ -347,10 +524,23 @@ class ServingPipeline:
         once the rolling window starts evicting.
         """
         service = self.service
+        extra_allowed = self.brownout.mask(service.engine.action_space)
+        if self.guard.enabled and self.guard.stage is GuardStage.DEGRADE:
+            # DEGRADE on the resilient path: keep the retry/breaker
+            # machinery but fence selection to local targets, which the
+            # fault plan cannot touch.
+            env = service.environment
+            local = np.array(
+                [not target.is_remote for target in env.targets()],
+                dtype=bool,
+            )
+            if np.any(local):
+                extra_allowed = (local if extra_allowed is None
+                                 else extra_allowed & local)
         return service._handle_resilient(
-            use_case, extra_allowed=self.brownout.mask(
-                service.engine.action_space),
+            use_case, extra_allowed=extra_allowed,
             queue_delay_ms=wait_ms, tier=tier.value,
+            reason=self._trace_reason(),
         )
 
     def _combined_mask(self):
@@ -372,8 +562,9 @@ class ServingPipeline:
     # ------------------------------------------------------------------
 
     def status(self):
-        """Pipeline-level counters (queue, sheds, brownout)."""
-        return {
+        """One call, full serving health: queue, sheds, brownout, the
+        environment's fault ledger, and the policy guard's counters."""
+        status = {
             "queue_depth": self.queue.depth,
             "queue_peak_depth": self.queue.peak_depth,
             "queue_admitted": self.queue.admitted,
@@ -382,4 +573,10 @@ class ServingPipeline:
             "brownout_escalations": self.brownout.escalations,
             "brownout_deescalations": self.brownout.deescalations,
             "sheds": self.shed_stats.as_dict(),
+            "guard": self.guard.status(),
         }
+        fault_stats = getattr(self.service.environment, "fault_stats",
+                              None)
+        if fault_stats is not None:
+            status["faults"] = fault_stats.as_dict()
+        return status

@@ -32,6 +32,7 @@ class EventKind(enum.Enum):
     OUTAGE_START = "outage_start"  # a remote location going dark
     OUTAGE_END = "outage_end"      # a remote location coming back
     TIMER = "timer"                # a generic subscriber timer
+    GUARD_TICK = "guard_tick"      # a policy-guard evaluation instant
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,123 @@
+"""Guard persistence: crash-safe checkpoint round trips (satellite 3)."""
+
+import json
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core.persistence import load_guard, save_guard
+from repro.core.service import AutoScaleService
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import use_case_for
+from repro.guard import GuardConfig, GuardStage, PolicyGuard
+from repro.hardware.devices import build_device
+from repro.models.zoo import build_network
+
+
+def _fast_config():
+    return GuardConfig(qos_streak_limit=3, escalate_ticks=1,
+                       recover_ticks=2, residual_warmup=8,
+                       qsurge_warmup=8, qsurge_sustain=2)
+
+
+def _armed_guard():
+    """A guard escalated to SHADOW with detector state in flight."""
+    guard = PolicyGuard(_fast_config())
+    for _ in range(12):
+        guard.note_result("inception_v1|7", 100.0, 101.0, qos_ok=True)
+    for tick in range(2):
+        for _ in range(guard.config.qos_streak_limit):
+            guard.note_refusal()
+        guard.evaluate(now_ms=1_000.0 * (tick + 1))
+    guard.note_refusal()  # partial streak: dwell state mid-flight
+    assert guard.stage is GuardStage.SHADOW
+    return guard
+
+
+class TestSaveLoadGuard:
+    def test_round_trip_is_exact(self, tmp_path):
+        guard = _armed_guard()
+        save_guard(guard, tmp_path)
+        restored = load_guard(tmp_path)
+        assert restored.config == guard.config
+        assert restored.stage is GuardStage.SHADOW
+        assert restored.state_dict() == guard.state_dict()
+
+    def test_missing_blob_returns_none(self, tmp_path):
+        assert load_guard(tmp_path) is None
+
+    def test_garbage_json_rejected(self, tmp_path):
+        save_guard(_armed_guard(), tmp_path)
+        (tmp_path / "guard.json").write_text("{not json")
+        with pytest.raises(ConfigError, match="corrupt guard"):
+            load_guard(tmp_path)
+
+    def test_tampered_state_fails_digest(self, tmp_path):
+        save_guard(_armed_guard(), tmp_path)
+        path = tmp_path / "guard.json"
+        blob = json.loads(path.read_text())
+        blob["state"]["escalations"] = 99
+        path.write_text(json.dumps(blob))
+        with pytest.raises(ConfigError, match="sha256"):
+            load_guard(tmp_path)
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        save_guard(_armed_guard(), tmp_path)
+        path = tmp_path / "guard.json"
+        blob = json.loads(path.read_text())
+        blob["format_version"] = 99
+        path.write_text(json.dumps(blob))
+        with pytest.raises(ConfigError, match="format"):
+            load_guard(tmp_path)
+
+
+class TestServiceCheckpoint:
+    @pytest.fixture()
+    def env(self):
+        return EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                    seed=42)
+
+    def test_armed_guard_survives_restart(self, tmp_path, env):
+        service = AutoScaleService(env, seed=42, guard=_armed_guard())
+        use_case = use_case_for(build_network("mobilenet_v3"))
+        service.register(use_case)
+        for _ in range(5):
+            service.handle(use_case.name)
+        service.checkpoint(tmp_path)
+        restored = AutoScaleService.restore(
+            tmp_path,
+            EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                 seed=42),
+        )
+        assert restored.guard.stage is GuardStage.SHADOW
+        assert restored.guard.state_dict() \
+            == service.guard.state_dict()
+
+    def test_disabled_guard_writes_no_blob(self, tmp_path, env):
+        service = AutoScaleService(env, seed=42)
+        use_case = use_case_for(build_network("mobilenet_v3"))
+        service.register(use_case)
+        service.handle(use_case.name)
+        service.checkpoint(tmp_path)
+        assert not (tmp_path / "guard.json").exists()
+        restored = AutoScaleService.restore(
+            tmp_path,
+            EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                 seed=42),
+        )
+        assert not restored.guard.enabled
+
+    def test_explicit_guard_overrides_blob(self, tmp_path, env):
+        service = AutoScaleService(env, seed=42, guard=_armed_guard())
+        use_case = use_case_for(build_network("mobilenet_v3"))
+        service.register(use_case)
+        service.handle(use_case.name)
+        service.checkpoint(tmp_path)
+        override = PolicyGuard(GuardConfig.disabled())
+        restored = AutoScaleService.restore(
+            tmp_path,
+            EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                 seed=42),
+            guard=override,
+        )
+        assert restored.guard is override

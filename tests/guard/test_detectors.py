@@ -1,0 +1,212 @@
+"""Detector unit + seeded property tests (ISSUE 9, satellite 4).
+
+The two headline properties:
+
+- **Zero false alarms** across 1 000 stationary seeds: Gaussian
+  residuals with no shift never trip the CUSUM, and stationary Q-update
+  magnitudes never trip the surge detector.
+- **Bounded detection**: after an injected step change of ``delta``
+  standard deviations, the CUSUM is guaranteed to alarm within
+  ``ceil(h_sigma / (delta - k_sigma))`` post-change samples.
+"""
+
+import math
+
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.guard import QSurgeDetector, ResidualDetector, StreakDetector
+
+
+class TestResidualConfig:
+    def test_rejects_tiny_warmup(self):
+        with pytest.raises(ConfigError, match="warmup"):
+            ResidualDetector(warmup=4)
+
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ConfigError):
+            ResidualDetector(k_sigma=0.0)
+        with pytest.raises(ConfigError):
+            ResidualDetector(h_sigma=-1.0)
+
+    def test_rejects_non_int_warmup(self):
+        with pytest.raises(ConfigError):
+            ResidualDetector(warmup=40.0)
+
+
+class TestResidualDetector:
+    def test_silent_during_warmup(self):
+        detector = ResidualDetector(warmup=10)
+        for value in range(10):
+            detector.note("b", float(value))
+        assert detector.alarms == 0
+        assert detector.drain() == []
+
+    def test_step_change_alarms(self):
+        detector = ResidualDetector(warmup=20, k_sigma=0.5, h_sigma=8.0)
+        rng = make_rng(7)
+        for _ in range(20):
+            detector.note("b", float(rng.normal(0.0, 0.05)))
+        for _ in range(40):
+            detector.note("b", 1.0)  # energy suddenly 2x the nominal
+        assert detector.alarms >= 1
+        assert detector.drain() == ["residual_cusum"] * detector.alarms
+
+    def test_buckets_are_independent(self):
+        detector = ResidualDetector(warmup=10, h_sigma=6.0)
+        rng = make_rng(11)
+        for _ in range(10):
+            detector.note("calm", float(rng.normal(0.0, 0.1)))
+            detector.note("shifting", float(rng.normal(0.0, 0.1)))
+        for _ in range(30):
+            detector.note("calm", float(rng.normal(0.0, 0.1)))
+            detector.note("shifting", 2.0)
+        assert detector.alarms >= 1
+        calm = detector.state_dict()["buckets"]["calm"]
+        assert calm["pos"] < detector.h_sigma
+
+    def test_non_finite_residuals_ignored(self):
+        detector = ResidualDetector(warmup=10)
+        detector.note("b", float("nan"))
+        detector.note("b", float("inf"))
+        assert detector.state_dict()["buckets"] == {}
+
+    def test_reset_transients_keeps_baseline(self):
+        detector = ResidualDetector(warmup=10)
+        rng = make_rng(3)
+        for _ in range(15):
+            detector.note("b", float(rng.normal(0.0, 0.1)))
+        before = detector.state_dict()["buckets"]["b"]
+        detector.reset_transients()
+        after = detector.state_dict()["buckets"]["b"]
+        assert after["pos"] == 0.0 and after["neg"] == 0.0
+        assert after["mu"] == before["mu"]
+        assert after["m2"] == before["m2"]
+
+    def test_state_round_trip(self):
+        detector = ResidualDetector(warmup=10)
+        rng = make_rng(5)
+        for _ in range(25):
+            detector.note("b", float(rng.normal(0.0, 0.2)))
+        clone = ResidualDetector(warmup=10)
+        clone.load_state_dict(detector.state_dict())
+        assert clone.state_dict() == detector.state_dict()
+
+    def test_corrupt_state_rejected(self):
+        detector = ResidualDetector()
+        with pytest.raises(ConfigError, match="residual"):
+            detector.load_state_dict({"alarms": 0})
+
+
+class TestStreakDetector:
+    def test_alarm_at_limit_and_rearm(self):
+        detector = StreakDetector(limit=3)
+        for _ in range(6):
+            detector.note(False)
+        assert detector.alarms == 2
+        assert detector.drain() == ["qos_streak", "qos_streak"]
+
+    def test_success_resets(self):
+        detector = StreakDetector(limit=3)
+        for _ in range(2):
+            detector.note(False)
+        detector.note(True)
+        detector.note(False)
+        assert detector.alarms == 0
+
+    def test_state_round_trip(self):
+        detector = StreakDetector(limit=5)
+        for _ in range(7):
+            detector.note(False)
+        clone = StreakDetector(limit=5)
+        clone.load_state_dict(detector.state_dict())
+        assert clone.state_dict() == detector.state_dict()
+
+    def test_corrupt_state_rejected(self):
+        with pytest.raises(ConfigError, match="streak"):
+            StreakDetector().load_state_dict({"streak": "many"})
+
+
+class TestQSurgeDetector:
+    def test_rejects_factor_at_most_one(self):
+        with pytest.raises(ConfigError, match="factor"):
+            QSurgeDetector(factor=1.0)
+
+    def test_sustained_surge_alarms(self):
+        detector = QSurgeDetector(warmup=20, factor=4.0, sustain=5)
+        rng = make_rng(9)
+        for _ in range(20):
+            detector.note(float(rng.normal(0.0, 1.0)))
+        for _ in range(30):
+            detector.note(50.0)
+        assert detector.alarms >= 1
+        assert set(detector.drain()) <= {"q_surge"}
+
+    def test_brief_spike_does_not_alarm(self):
+        detector = QSurgeDetector(warmup=20, factor=4.0, sustain=10)
+        rng = make_rng(13)
+        for _ in range(20):
+            detector.note(float(rng.normal(0.0, 1.0)))
+        detector.note(20.0)
+        for _ in range(40):
+            detector.note(float(rng.normal(0.0, 1.0)))
+        assert detector.alarms == 0
+
+    def test_state_round_trip(self):
+        detector = QSurgeDetector(warmup=10)
+        rng = make_rng(17)
+        for _ in range(25):
+            detector.note(float(rng.normal(0.0, 1.0)))
+        clone = QSurgeDetector(warmup=10)
+        clone.load_state_dict(detector.state_dict())
+        assert clone.state_dict() == detector.state_dict()
+
+    def test_corrupt_state_rejected(self):
+        with pytest.raises(ConfigError, match="q-surge"):
+            QSurgeDetector().load_state_dict({"count": 1})
+
+
+class TestSeededProperties:
+    """The satellite-4 guarantees, pinned over seeded ensembles."""
+
+    def test_zero_false_alarms_across_1k_stationary_seeds(self):
+        for seed in range(1_000):
+            rng = make_rng(seed)
+            detector = ResidualDetector(warmup=40)
+            for _ in range(200):
+                detector.note("b", float(rng.normal(0.0, 1.0)))
+            assert detector.alarms == 0, f"false alarm at seed {seed}"
+
+    def test_zero_false_surges_across_1k_stationary_seeds(self):
+        for seed in range(1_000):
+            rng = make_rng(seed)
+            detector = QSurgeDetector(warmup=60)
+            for _ in range(200):
+                detector.note(float(rng.normal(0.0, 1.0)))
+            assert detector.alarms == 0, f"false surge at seed {seed}"
+
+    @pytest.mark.parametrize("delta", [3.0, 5.0, 8.0])
+    def test_step_change_detected_within_bound(self, delta):
+        """A step of ``delta`` estimated sigmas must alarm within
+        ``ceil(h / (delta - k))`` post-change samples, for every seed."""
+        for seed in range(50):
+            rng = make_rng(seed)
+            detector = ResidualDetector(warmup=40, k_sigma=0.5,
+                                        h_sigma=12.0)
+            for _ in range(40):
+                detector.note("b", float(rng.normal(0.0, 1.0)))
+            bucket = detector.state_dict()["buckets"]["b"]
+            sigma = max(math.sqrt(bucket["m2"] / (detector.warmup - 1)),
+                        detector.min_sigma)
+            shifted = bucket["mu"] + delta * sigma
+            bound = math.ceil(detector.h_sigma
+                              / (delta - detector.k_sigma))
+            for sample in range(1, bound + 1):
+                detector.note("b", shifted)
+                if detector.alarms:
+                    break
+            assert detector.alarms >= 1, (
+                f"seed {seed}: no alarm within {bound} samples at "
+                f"delta={delta}"
+            )
+            assert sample <= bound

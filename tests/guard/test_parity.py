@@ -1,0 +1,108 @@
+"""Guard parity pins (acceptance): the disabled guard changes nothing.
+
+Two layers of the guarantee:
+
+- ``GuardConfig.disabled()`` (the system default) is structurally
+  inert: zero ticks, empty reason column, no engine mutation — the
+  serving byte-stream matches a guard-free service exactly.
+- An *enabled* guard that never leaves HEALTHY is a pure observer: the
+  full trace (decisions, measurements, timestamps) is bit-identical to
+  the disabled run, because the detectors consume only values the
+  serving path already computed and draw no RNG.
+"""
+
+from dataclasses import asdict
+
+from repro.core.service import AutoScaleService
+from repro.core.tracing import TraceRecorder
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import UseCase
+from repro.guard import GuardConfig, GuardStage, PolicyGuard
+from repro.hardware.devices import build_device
+from repro.models.zoo import build_network
+from repro.serving.arrivals import Arrival
+from repro.serving.pipeline import ServingConfig, ServingPipeline
+
+_ARRIVALS = tuple(Arrival(at_ms=200.0 * i, name="svc") for i in range(40))
+
+
+def _episode(guard):
+    """One fixed-seed serving episode; returns (records, status).
+
+    The warmed resnet-50/qos-200 workload serves cleanly under S1 (the
+    learned cloud decision is fast and cheap), so an enabled guard has
+    nothing to alarm on — which is the point of the parity pins.
+    """
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=7, think_time_ms=0.0)
+    service = AutoScaleService(env, seed=7, guard=guard)
+    use_case = UseCase(name="svc", network=build_network("resnet_50"),
+                       qos_ms=200.0, accuracy_target=70.0)
+    service.register(use_case)
+    for _ in range(400):
+        service.handle("svc")
+    service.trace = TraceRecorder(max_records=service.trace_limit)
+    env.rewind_clock()
+    pipeline = ServingPipeline(service, ServingConfig())
+    pipeline.serve(list(_ARRIVALS))
+    records = [asdict(record) for record in service.trace.records]
+    return records, pipeline.status()
+
+
+class TestDisabledGuardParity:
+    def test_default_service_guard_is_disabled(self):
+        env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                                   seed=0)
+        assert not AutoScaleService(env).guard.enabled
+
+    def test_disabled_equals_no_guard_bit_for_bit(self):
+        baseline, baseline_status = _episode(guard=None)
+        explicit, explicit_status = _episode(
+            guard=PolicyGuard(GuardConfig.disabled()))
+        assert explicit == baseline
+        assert explicit_status["guard"]["ticks"] == 0
+        assert baseline_status["guard"]["ticks"] == 0
+
+    def test_disabled_reason_column_stays_empty(self):
+        records, _ = _episode(guard=None)
+        assert all(record["reason"] == "" for record in records)
+
+
+class TestHealthyGuardIsPureObserver:
+    def test_stationary_traces_bit_identical(self):
+        baseline, _ = _episode(guard=None)
+        observed, status = _episode(guard=PolicyGuard(GuardConfig()))
+        assert status["guard"]["stage"] == "healthy"
+        assert status["guard"]["alarms"] == {}
+        assert status["guard"]["ticks"] > 0
+        assert observed == baseline
+
+    def test_status_surfaces_all_health_ledgers(self):
+        _, status = _episode(guard=PolicyGuard(GuardConfig()))
+        assert "sheds" in status
+        assert "faults" in status
+        assert "guard" in status
+        assert "brownout_tier" in status
+
+
+class TestActiveGuardAnnotations:
+    def test_shadow_stage_stamps_reason_and_overrides_decisions(self):
+        # recover_ticks is huge so quiet stationary ticks cannot
+        # de-escalate the hand-armed stage mid-episode.
+        guard = PolicyGuard(GuardConfig(recover_ticks=1_000))
+        guard.stage = GuardStage.SHADOW
+        records, status = _episode(guard=guard)
+        served = [r for r in records if r["status"] == "ok"]
+        assert served
+        assert all(r["reason"] == "guard/shadow" for r in served)
+        assert status["guard"]["stage"] == "shadow"
+
+    def test_degrade_stage_serves_local_only(self):
+        guard = PolicyGuard(GuardConfig(recover_ticks=1_000))
+        guard.stage = GuardStage.DEGRADE
+        records, _ = _episode(guard=guard)
+        served = [r for r in records if r["status"] == "ok"]
+        assert served
+        assert all(r["reason"] == "guard/degrade" for r in served)
+        assert all(not r["target_key"].startswith("cloud/")
+                   for r in served)

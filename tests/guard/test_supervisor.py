@@ -1,0 +1,202 @@
+"""PolicyGuard state-machine tests: ladder, hysteresis, reasons."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.guard import GuardConfig, GuardStage, PolicyGuard
+
+
+def _config(**overrides):
+    """A fast-moving test config: low limits, short dwells."""
+    base = dict(qos_streak_limit=3, escalate_ticks=1, recover_ticks=2,
+                residual_warmup=8, qsurge_warmup=8, qsurge_sustain=2)
+    base.update(overrides)
+    return GuardConfig(**base)
+
+
+def _streak_alarm(guard):
+    """Feed one full bad-outcome streak (one pending streak alarm)."""
+    for _ in range(guard.config.qos_streak_limit):
+        guard.note_refusal()
+
+
+class TestGuardConfig:
+    def test_defaults_are_enabled(self):
+        assert GuardConfig().enabled
+
+    def test_disabled_is_inert_flag(self):
+        assert not GuardConfig.disabled().enabled
+
+    def test_rejects_bad_tick_interval(self):
+        with pytest.raises(ConfigError, match="tick_interval_ms"):
+            GuardConfig(tick_interval_ms=0.0)
+
+    def test_rejects_non_int_dwells(self):
+        with pytest.raises(ConfigError, match="escalate_ticks"):
+            GuardConfig(escalate_ticks=0)
+        with pytest.raises(ConfigError, match="recover_ticks"):
+            GuardConfig(recover_ticks=1.5)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigError, match="readapt_epsilon"):
+            GuardConfig(readapt_epsilon=1.5)
+
+    def test_as_dict_round_trips(self):
+        config = _config()
+        assert GuardConfig(**config.as_dict()) == config
+
+
+class TestStageLadder:
+    def test_depth_ordering(self):
+        depths = [stage.depth for stage in (
+            GuardStage.HEALTHY, GuardStage.READAPT, GuardStage.SHADOW,
+            GuardStage.DEGRADE)]
+        assert depths == [0, 1, 2, 3]
+
+    def test_escalates_one_rung_per_alarmed_tick(self):
+        guard = PolicyGuard(_config())
+        expected = [GuardStage.READAPT, GuardStage.SHADOW,
+                    GuardStage.DEGRADE]
+        for stage in expected:
+            _streak_alarm(guard)
+            transitions = guard.evaluate(now_ms=1_000.0 * guard.ticks)
+            assert len(transitions) == 1
+            assert guard.stage is stage
+        assert guard.escalations == 3
+
+    def test_degrade_is_terminal_rung(self):
+        guard = PolicyGuard(_config())
+        for _ in range(5):
+            _streak_alarm(guard)
+            guard.evaluate(now_ms=0.0)
+        assert guard.stage is GuardStage.DEGRADE
+        assert guard.escalations == 3
+
+    def test_escalation_dwell(self):
+        guard = PolicyGuard(_config(escalate_ticks=2))
+        _streak_alarm(guard)
+        assert guard.evaluate(now_ms=0.0) == []
+        assert guard.stage is GuardStage.HEALTHY
+        _streak_alarm(guard)
+        assert len(guard.evaluate(now_ms=1_000.0)) == 1
+        assert guard.stage is GuardStage.READAPT
+
+    def test_quiet_tick_resets_escalation_dwell(self):
+        guard = PolicyGuard(_config(escalate_ticks=2))
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=0.0)
+        guard.evaluate(now_ms=1_000.0)  # quiet: dwell resets
+        _streak_alarm(guard)
+        assert guard.evaluate(now_ms=2_000.0) == []
+        assert guard.stage is GuardStage.HEALTHY
+
+    def test_recovery_descends_one_rung_per_dwell(self):
+        guard = PolicyGuard(_config())
+        for _ in range(2):
+            _streak_alarm(guard)
+            guard.evaluate(now_ms=0.0)
+        assert guard.stage is GuardStage.SHADOW
+        quiet = 0
+        stages = []
+        while guard.stage is not GuardStage.HEALTHY:
+            quiet += 1
+            if guard.evaluate(now_ms=1_000.0 * quiet):
+                stages.append(guard.stage)
+        assert stages == [GuardStage.READAPT, GuardStage.HEALTHY]
+        assert guard.deescalations == 2
+        # recover_ticks=2 quiet ticks per rung down
+        assert quiet == 4
+
+    def test_alarm_resets_recovery_dwell(self):
+        guard = PolicyGuard(_config(recover_ticks=2))
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=0.0)
+        assert guard.stage is GuardStage.READAPT
+        guard.evaluate(now_ms=1_000.0)  # quiet 1 of 2
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=2_000.0)  # alarmed: escalates again
+        assert guard.stage is GuardStage.SHADOW
+        guard.evaluate(now_ms=3_000.0)  # quiet 1 of 2 (reset)
+        transitions = guard.evaluate(now_ms=4_000.0)
+        assert [t.reason for t in transitions] == ["recovered"]
+        assert guard.stage is GuardStage.READAPT
+
+
+class TestReasonsAndStatus:
+    def test_escalation_reason_joins_sorted_detectors(self):
+        guard = PolicyGuard(_config())
+        _streak_alarm(guard)
+        # And a Q surge pending in the same tick.
+        for _ in range(guard.config.qsurge_warmup):
+            guard.note_q_delta(0.001, 1.0)
+        for _ in range(guard.config.qsurge_sustain + 5):
+            guard.note_q_delta(10.0, 1.0)
+        (transition,) = guard.evaluate(now_ms=0.0)
+        assert transition.reason == "q_surge+qos_streak"
+        assert transition.from_stage == "healthy"
+        assert transition.to_stage == "readapt"
+
+    def test_transitions_carry_times(self):
+        guard = PolicyGuard(_config())
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=2_500.0)
+        assert guard.transitions[0].at_ms == 2500.0
+
+    def test_annotation_tracks_stage(self):
+        guard = PolicyGuard(_config())
+        assert guard.annotation() == ""
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=0.0)
+        assert guard.annotation() == "guard/readapt"
+
+    def test_status_counters(self):
+        guard = PolicyGuard(_config())
+        _streak_alarm(guard)
+        guard.evaluate(now_ms=0.0)
+        status = guard.status()
+        assert status["enabled"]
+        assert status["stage"] == "readapt"
+        assert status["ticks"] == 1
+        assert status["escalations"] == 1
+        assert status["alarms"] == {"qos_streak": 1}
+        assert status["transitions"] == 1
+
+
+class TestDisabledGuard:
+    def test_feeds_and_evaluate_are_noops(self):
+        guard = PolicyGuard(GuardConfig.disabled())
+        guard.note_refusal()
+        guard.note_result("b", 10.0, 20.0, qos_ok=False)
+        guard.note_qos(False)
+        guard.note_q_delta(100.0, 0.9)
+        assert guard.evaluate(now_ms=0.0) == []
+        assert guard.ticks == 0
+        assert not guard.active
+        assert guard.status()["alarms"] == {}
+
+
+class TestStatePersistence:
+    def test_round_trip_preserves_everything(self):
+        guard = PolicyGuard(_config())
+        for _ in range(2):
+            _streak_alarm(guard)
+            guard.evaluate(now_ms=1_000.0 * guard.ticks)
+        guard.note_refusal()  # a partial streak in flight
+        clone = PolicyGuard(_config())
+        clone.load_state_dict(guard.state_dict())
+        assert clone.state_dict() == guard.state_dict()
+        assert clone.stage is GuardStage.SHADOW
+
+    def test_corrupt_state_rejected(self):
+        guard = PolicyGuard(_config())
+        state = guard.state_dict()
+        state.pop("stage")
+        with pytest.raises(ConfigError, match="corrupt guard state"):
+            PolicyGuard(_config()).load_state_dict(state)
+
+    def test_unknown_stage_rejected(self):
+        guard = PolicyGuard(_config())
+        state = guard.state_dict()
+        state["stage"] = "panicking"
+        with pytest.raises(ConfigError):
+            PolicyGuard(_config()).load_state_dict(state)

@@ -84,6 +84,23 @@ class TestOverloadCommand:
             build_parser().parse_args(["overload", "--policy", "yolo"])
 
 
+class TestDriftCommand:
+    def test_drift_table_smoke(self):
+        code, text = run_cli(
+            "drift", "--scenario", "stationary",
+            "--duration-ms", "5000", "--drift-at-ms", "2000",
+            "--warmup", "60",
+        )
+        assert code == 0
+        assert "post-drift viol" in text
+        assert "stationary" in text
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "--scenario",
+                                       "meteor_strike"])
+
+
 class TestAnalysisExperiments:
     def test_pareto_prints_frontier(self):
         code, text = run_cli("experiment", "pareto")
