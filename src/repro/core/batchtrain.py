@@ -46,8 +46,6 @@ from repro.core.reward import compute_reward
 from repro.env.result import ExecutionResult
 from repro.env.target import Location
 from repro.hardware.processor import ProcessorKind
-from repro.interference.corunner import ConstantCoRunner
-from repro.wireless.signal import ConstantSignal
 
 __all__ = ["BatchTrainer"]
 
@@ -81,15 +79,12 @@ class BatchTrainer:
     def _static_scenario(self):
         """True when the scenario draws nothing and never changes.
 
-        Constant co-runner + constant signals (Table IV's S1-S5) sample
-        no RNG values and return identical observations every step, so
-        the per-step observe/encode pair can be elided without touching
-        the RNG stream or any downstream value.
+        Delegates to
+        :attr:`~repro.env.environment.EdgeCloudEnvironment.scenario_is_static`
+        — the shared eligibility check the vectorized serving drain uses
+        too.
         """
-        scenario = self.engine.environment.scenario
-        return (isinstance(scenario.corunner, ConstantCoRunner)
-                and isinstance(scenario.wlan_signal, ConstantSignal)
-                and isinstance(scenario.p2p_signal, ConstantSignal))
+        return self.engine.environment.scenario_is_static
 
     def _fast_path_available(self):
         engine = self.engine

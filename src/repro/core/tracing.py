@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analysis.contracts import (
+    contracts_enabled,
     ensure_duration_ms,
     ensure_energy_mj,
     ensure_finite,
@@ -77,6 +78,12 @@ class TraceRecord:
     reason: str = ""
 
     def __post_init__(self):
+        # Trace rows are minted once per served request — the serving
+        # hot path — so the field contracts obey the same switch as
+        # :func:`repro.analysis.contracts.checked`: on under pytest,
+        # off in production unless REPRO_CONTRACTS forces them.
+        if not contracts_enabled():
+            return
         ensure_duration_ms(self.at_ms, "at_ms")
         if self.status == "shed":
             # A shed executes nothing; zero latency is its whole point.
@@ -158,7 +165,7 @@ class TraceRecorder:
         self._trim()
         result = step.result
         if status is None:
-            status = "failed" if getattr(result, "failed", False) else "ok"
+            status = "failed" if result.failed else "ok"
         self.records.append(TraceRecord(
             index=len(self.records),
             at_ms=float(at_ms if at_ms is not None else len(self.records)),

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.common import ConfigError, Stopwatch, make_rng
 from repro.env.costcache import NominalCostEngine
 from repro.env.injection import resolve_injector
@@ -39,10 +41,12 @@ from repro.env.observation import Observation
 from repro.env.scenarios import build_scenario
 from repro.env.target import ExecutionTarget, Location, enumerate_targets
 from repro.hardware.devices import cloud_server, galaxy_tab_s6
+from repro.interference.corunner import ConstantCoRunner
 from repro.interference.model import InterferenceModel
 from repro.models.accuracy import DEFAULT_ACCURACY
 from repro.sim.kernel import EventKernel
 from repro.wireless.profiles import default_wifi, default_wifi_direct
+from repro.wireless.signal import ConstantSignal
 
 __all__ = ["EdgeCloudEnvironment"]
 
@@ -128,6 +132,21 @@ class EdgeCloudEnvironment:
         engine = getattr(self, "_cost_engine", None)
         if engine is not None:  # not yet built during __init__
             engine.invalidate()
+
+    @property
+    def scenario_is_static(self):
+        """True when the scenario draws nothing and never changes.
+
+        Constant co-runner + constant signals (Table IV's S1-S5) sample
+        no RNG values and return identical observations every step, so
+        batched fast paths (training campaigns, the vectorized serving
+        drain) can elide repeated observe/encode work without touching
+        the RNG stream or any downstream value.
+        """
+        scenario = self._scenario
+        return (isinstance(scenario.corunner, ConstantCoRunner)
+                and isinstance(scenario.wlan_signal, ConstantSignal)
+                and isinstance(scenario.p2p_signal, ConstantSignal))
 
     # ------------------------------------------------------------------
     # Fault plan (swappable between serving phases, e.g. chaos sweeps)
@@ -297,11 +316,19 @@ class EdgeCloudEnvironment:
     # ------------------------------------------------------------------
 
     def _jitter_plans(self):
-        """Per-location jitter plans for the current noise config."""
+        """Per-location jitter plans for the current noise config.
+
+        The positive sigmas are stored pre-converted to an ndarray so
+        the per-request ``rng.normal`` call skips the list-to-array
+        conversion (same draws either way).
+        """
         plans = getattr(self, "_jitter_plan_cache", None)
         if plans is None or plans[0] is not self.noise:
-            plans = (self.noise, jitter_plan(self.noise, False),
-                     jitter_plan(self.noise, True))
+            local_sigmas, local_flags = jitter_plan(self.noise, False)
+            remote_sigmas, remote_flags = jitter_plan(self.noise, True)
+            plans = (self.noise,
+                     (np.asarray(local_sigmas), local_flags),
+                     (np.asarray(remote_sigmas), remote_flags))
             self._jitter_plan_cache = plans
         return plans
 
@@ -345,7 +372,7 @@ class EdgeCloudEnvironment:
         _, local_plan, remote_plan = self._jitter_plans()
         positive_sigmas, draw_flags = (remote_plan if target.is_remote
                                        else local_plan)
-        if positive_sigmas:
+        if positive_sigmas.size:
             draws = self.rng.normal(0.0, positive_sigmas)
         else:
             draws = ()

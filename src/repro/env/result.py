@@ -41,10 +41,14 @@ class ExecutionResult:
     target_key: str
     detail: Dict[str, float] = field(default_factory=dict)
 
-    #: Class-level discriminator shared with
-    #: :class:`repro.faults.FailedAttempt` (which sets it True): a
-    #: completed execution always delivered a result.
+    #: Class-level discriminators shared with
+    #: :class:`repro.faults.FailedAttempt` (``failed = True``) and
+    #: :class:`repro.serving.shedder.SheddedRequest` (``shed = True``):
+    #: every serve outcome carries both flags as typed attributes, so
+    #: consumers branch on ``outcome.failed`` / ``outcome.shed``
+    #: directly instead of duck-typing through ``getattr`` defaults.
     failed = False
+    shed = False
 
     def __post_init__(self):
         # Finiteness first: NaN slips through plain comparisons (``nan

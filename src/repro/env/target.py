@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.common import ConfigError
 from repro.models.quantization import Precision
@@ -55,9 +56,13 @@ class ExecutionTarget:
                 f"(got vf_index={self.vf_index})"
             )
 
-    @property
+    @cached_property
     def key(self):
-        """Stable string id, e.g. ``"local/gpu/fp16/vf3"``."""
+        """Stable string id, e.g. ``"local/gpu/fp16/vf3"``.
+
+        Cached: targets are immutable and every served request stamps
+        this string onto its result and trace row.
+        """
         if self.location is Location.LOCAL:
             return (f"{self.location.value}/{self.role}/"
                     f"{self.precision.label}/vf{self.vf_index}")

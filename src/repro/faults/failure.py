@@ -69,8 +69,10 @@ class FailedAttempt:
     estimated_energy_mj: float
     detail: Dict[str, float] = field(default_factory=dict)
 
-    #: Class-level discriminator; ``ExecutionResult.failed`` is False.
+    #: Class-level discriminators; ``ExecutionResult.failed`` is False,
+    #: and a failed attempt was executed, not shed.
     failed = True
+    shed = False
 
     def __post_init__(self):
         ensure_latency_ms(self.latency_ms, "latency_ms")

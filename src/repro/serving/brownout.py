@@ -103,6 +103,10 @@ class BrownoutController:
         self.escalations = 0
         self.deescalations = 0
         self._calm_streak = 0
+        # Per-action-space precision/locality vectors, built once: the
+        # action space is frozen for the engine's lifetime, so the drain
+        # loop must not rebuild three list comprehensions per call.
+        self._mask_cache = {}
 
     def observe_pressure(self, depth):
         """Feed one queue-depth observation; returns the current tier.
@@ -142,6 +146,26 @@ class BrownoutController:
         """
         if self.tier is BrownoutTier.NORMAL:
             return None
+        int8, reduced, local = self._vectors(action_space)
+        if self.tier is BrownoutTier.REDUCED_PRECISION:
+            if int8.any():
+                return int8
+            return reduced if reduced.any() else None
+        for cut in (local & int8, local & reduced, local):
+            if cut.any():
+                return cut
+        return None
+
+    def _vectors(self, action_space):
+        """The cached (int8, reduced, local) boolean vectors for a space.
+
+        Keyed by object identity; the cache entry keeps the space alive,
+        so a recycled ``id`` cannot alias a dead key.
+        """
+        key = id(action_space)
+        entry = self._mask_cache.get(key)
+        if entry is not None:
+            return entry[1]
         int8 = np.array(
             [target.precision is Precision.INT8
              for target in action_space],
@@ -152,14 +176,12 @@ class BrownoutController:
              for target in action_space],
             dtype=bool,
         )
-        if self.tier is BrownoutTier.REDUCED_PRECISION:
-            if int8.any():
-                return int8
-            return reduced if reduced.any() else None
         local = np.array(
-            [not target.is_remote for target in action_space], dtype=bool
+            [not target.is_remote for target in action_space],
+            dtype=bool,
         )
-        for cut in (local & int8, local & reduced, local):
-            if cut.any():
-                return cut
-        return None
+        vectors = (int8, reduced, local)
+        if len(self._mask_cache) >= 8:  # bound growth across spaces
+            self._mask_cache.clear()
+        self._mask_cache[key] = (action_space, vectors)
+        return vectors

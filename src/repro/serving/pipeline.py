@@ -19,6 +19,20 @@ arrival stream on the environment's virtual clock:
    — execution, reward, and Q update remain per-request, so the
    learning dynamics match the scalar path exactly.
 
+The drain itself has two implementations behind one dispatcher.  The
+**vectorized** plane (structure-of-arrays, the default) runs whenever
+the scenario is static and the resilient path is off: states and
+feasibility floors are gathered once per distinct network from the
+drain-start observation (one ``estimate_all`` sweep each), per-request
+shed checks collapse to two float compares, frozen-table selections for
+every coalescing group go through one batched argmax pass
+(:meth:`~repro.core.engine.AutoScale.select_action_batch`), and
+execution routes through the cached-nominal executor.  Everything
+observable — trace rows, Q-table bytes, shed ledgers, RNG streams, the
+virtual clock — is bit-identical to the **scalar** drain, which remains
+the reference implementation (and the only one used under dynamic
+scenarios or resilience, where re-observation draws RNG per request).
+
 ``ServingConfig.disabled()`` bypasses all of it and reproduces the
 direct :meth:`~repro.core.service.AutoScaleService.handle` path
 bit-for-bit; the enabled pipeline under zero overload (every batch of
@@ -51,6 +65,7 @@ from repro.serving.shedder import (
     ShedStats,
     SheddedRequest,
     min_feasible_latency_ms,
+    shed_verdict,
 )
 
 __all__ = ["ServingConfig", "ServedRequest", "ServingPipeline"]
@@ -70,6 +85,10 @@ class ServingConfig:
             ``queue_capacity`` alone.
         brownout: the degradation controller's watermarks.
         batch_max: cap on requests drained per cycle (``None`` = all).
+        vectorized: use the structure-of-arrays drain whenever it is
+            eligible (static scenario, resilience off).  Bit-identical
+            to the scalar drain in every observable; ``False`` forces
+            the scalar reference implementation.
     """
 
     enabled: bool = True
@@ -78,6 +97,7 @@ class ServingConfig:
     shedding: bool = True
     brownout: BrownoutConfig = BrownoutConfig()
     batch_max: Optional[int] = None
+    vectorized: bool = True
 
     def __post_init__(self):
         if self.batch_max is not None and self.batch_max < 1:
@@ -109,7 +129,9 @@ class ServedRequest:
 
     ``outcome`` is an :class:`~repro.env.result.ExecutionResult`, a
     :class:`~repro.faults.FailedAttempt`, or a
-    :class:`~repro.serving.shedder.SheddedRequest`.
+    :class:`~repro.serving.shedder.SheddedRequest` — all three carry
+    the typed ``failed`` / ``shed`` discriminators, so no duck-typing
+    is involved in reading them back.
     """
 
     arrival: Arrival
@@ -122,11 +144,11 @@ class ServedRequest:
 
     @property
     def shed(self):
-        return getattr(self.outcome, "shed", False)
+        return self.outcome.shed
 
     @property
     def failed(self):
-        return getattr(self.outcome, "failed", False)
+        return self.outcome.failed
 
     @property
     def delivered(self):
@@ -340,7 +362,37 @@ class ServingPipeline:
         ))
 
     def _drain_cycle(self, outcomes):
-        """One drain: observe once, shed the hopeless, coalesce the rest."""
+        """One drain: observe once, shed the hopeless, coalesce the rest.
+
+        Dispatches to the structure-of-arrays sweep when it is provably
+        bit-identical — static scenario (re-observation draws no RNG
+        and never changes a value) and the resilient path off (retries
+        re-observe data-dependently) — and to the scalar reference
+        implementation otherwise.
+        """
+        if (self.config.vectorized
+                and not self.service.resilience.enabled
+                and self.service.environment.scenario_is_static):
+            self._drain_cycle_vectorized(outcomes)
+        else:
+            self._drain_cycle_scalar(outcomes)
+
+    def _decision_key(self, use_case, state, shadowing, browned):
+        """The drain coalescing key for one request.
+
+        Normal selections depend only on ``(network, state)`` — the
+        Q-table row — but shadow and brownout selections also read the
+        use case's QoS budget, so those branches key per use case: two
+        use cases sharing a (network, state) bucket must not inherit
+        each other's degraded action.
+        """
+        if shadowing or browned:
+            return (use_case.network.name, state, use_case.name)
+        return (use_case.network.name, state)
+
+    def _drain_cycle_scalar(self, outcomes):
+        """The reference drain: per-request observation refresh and
+        feasibility sweeps.  Correct under every configuration."""
         service = self.service
         env = service.environment
         engine = service.engine
@@ -383,14 +435,15 @@ class ServingPipeline:
             if service.resilience.enabled:
                 outcome = self._serve_resilient(use_case, wait_ms, tier)
                 if guard.enabled:
-                    if getattr(outcome, "failed", False):
+                    if outcome.failed:
                         guard.note_refusal()
                     else:
                         guard.note_qos(wait_ms + outcome.latency_ms
                                        <= use_case.qos_ms)
             else:
                 state = engine.observe_state(use_case.network, observation)
-                key = (use_case.network.name, state)
+                key = self._decision_key(use_case, state, shadowing,
+                                         browned)
                 if key not in decisions:
                     if shadowing:
                         # SHADOW/DEGRADE: the nominal-argmin baseline
@@ -422,6 +475,142 @@ class ServingPipeline:
             self.shed_stats.note_served()
             outcomes.append(ServedRequest(
                 request.arrival, outcome,
+                queue_delay_ms=wait_ms, tier=tier.value,
+            ))
+
+    def _drain_cycle_vectorized(self, outcomes):
+        """The structure-of-arrays drain: one sweep per network, fused
+        admit→shed→decide over the whole batch.
+
+        Under a static scenario the drain-start observation never goes
+        stale in *value* — re-observation would return the same load and
+        RSSI and draw nothing from the RNG — so the per-request
+        observe/sweep/encode work of the scalar drain collapses into a
+        per-network prepass:
+
+        - one ``estimate_all`` sweep and one feasibility floor per
+          distinct network (the scalar path recomputes both per
+          request);
+        - one encoded state per network;
+        - per-request shed checks reduced to two float compares against
+          the cached floor (:func:`~repro.serving.shedder.shed_verdict`,
+          EXPIRED before INFEASIBLE — the clock still moves mid-batch);
+        - with a frozen engine and no guard, selection is RNG-free, so
+          every coalescing group is decided upfront in one batched
+          argmax pass (:meth:`~repro.core.engine.AutoScale
+          .select_action_batch`); while training (or under an active
+          guard, whose ticks can flip training mid-drain) selection
+          stays lazy at each group's first surviving request, preserving
+          the exact scalar RNG interleave;
+        - execution routes through the cached-nominal executor
+          (``step_with_action(cached=True)``), bit-identical to the
+          uncached path.
+
+        Execution, reward, Q update, trace rows, guard feeds, and the
+        shed ledger all remain per-request and byte-equal to
+        :meth:`_drain_cycle_scalar`.
+        """
+        service = self.service
+        env = service.environment
+        engine = service.engine
+        tier = self.brownout.observe_pressure(self.queue.depth)
+        batch = self.queue.take_batch(self.config.batch_max)
+        observation = env.observe()
+        mask = self._combined_mask()
+        browned = self.brownout.tier is not BrownoutTier.NORMAL
+        shedding = self.config.shedding
+        guard = self.guard
+
+        # SoA prepass: states and floors are functions of the constant
+        # observation — gather once per distinct network.
+        states = {}
+        floors = {}
+        for request in batch:
+            network = request.use_case.network
+            if network.name not in states:
+                states[network.name] = engine.observe_state(network,
+                                                            observation)
+                if shedding:
+                    sweep = env.estimate_all(network, observation)
+                    floors[network.name] = min_feasible_latency_ms(
+                        sweep, mask)
+
+        decisions = {}
+        if not engine.training and not guard.enabled and not browned:
+            # Frozen NORMAL tier: selection is RNG-free and nothing can
+            # flip mid-drain (guard ticks are off), so deciding a group
+            # that later sheds every member is unobservable — decide
+            # all groups upfront in one batched pass.
+            group_keys = []
+            for request in batch:
+                use_case = request.use_case
+                key = (use_case.network.name,
+                       states[use_case.network.name])
+                if key not in decisions:
+                    decisions[key] = None
+                    group_keys.append(key)
+            for key, decision in zip(
+                group_keys,
+                engine.select_action_batch(
+                    [key[1] for key in group_keys], allowed=mask),
+            ):
+                decisions[key] = decision
+
+        # Loop invariants, hoisted: the clock object, tier label, and
+        # bound methods are fixed for the drain; the reason code is too
+        # unless a guard is live (its ticks can move the stage between
+        # requests).
+        clock = env.clock
+        tier_label = tier.value
+        guard_enabled = guard.enabled
+        fixed_reason = None if guard_enabled else self._trace_reason()
+        step_with_action = engine.step_with_action
+        record_step = service.trace.record_step
+        note_served = self.shed_stats.note_served
+
+        for request in batch:
+            now_ms = clock.now_ms
+            use_case = request.use_case
+            network_name = use_case.network.name
+            if shedding:
+                verdict = shed_verdict(now_ms, request.deadline_ms,
+                                       floors[network_name])
+                if verdict is not None:
+                    self._shed(request, verdict, now_ms, outcomes)
+                    continue
+            wait_ms = request.queue_delay_ms(now_ms)
+            shadowing = (guard_enabled
+                         and guard.stage.depth >= GuardStage.SHADOW.depth)
+            state = states[network_name]
+            key = self._decision_key(use_case, state, shadowing, browned)
+            if key not in decisions:
+                if shadowing:
+                    decisions[key] = (self._shadow_action(
+                        use_case, observation, mask,
+                        local_only=guard.stage is GuardStage.DEGRADE,
+                    ), False)
+                elif browned:
+                    decisions[key] = (self._brownout_action(
+                        use_case, observation, mask), False)
+                else:
+                    decisions[key] = engine.select_action(state,
+                                                          allowed=mask)
+            action, explored = decisions[key]
+            step = step_with_action(
+                use_case, action, observation, explored=explored,
+                cached=True, state=state,
+            )
+            record_step(
+                step, use_case, at_ms=clock.now_ms,
+                queue_delay_ms=wait_ms, tier=tier_label,
+                reason=(self._trace_reason() if guard_enabled
+                        else fixed_reason),
+            )
+            if guard_enabled:
+                self._feed_guard(step, use_case, observation, wait_ms)
+            note_served()
+            outcomes.append(ServedRequest(
+                request.arrival, step.result,
                 queue_delay_ms=wait_ms, tier=tier.value,
             ))
 
@@ -489,7 +678,7 @@ class ServingPipeline:
         """
         guard = self.guard
         result = step.result
-        if getattr(result, "failed", False):
+        if result.failed:
             guard.note_refusal()
         else:
             sweep = self.service.environment.estimate_all(

@@ -34,6 +34,7 @@ __all__ = [
     "ShedStats",
     "DeadlinePolicy",
     "min_feasible_latency_ms",
+    "shed_verdict",
 ]
 
 
@@ -223,3 +224,23 @@ def min_feasible_latency_ms(sweep, allowed=None):
         if mask.any():
             latencies = latencies[mask]
     return float(latencies.min())
+
+
+def shed_verdict(now_ms, deadline_ms, floor_ms):
+    """Classify one head-of-queue request against its deadline.
+
+    Returns the :class:`ShedReason` the pipeline must apply, or ``None``
+    when the request is servable.  The vectorized drain uses this
+    against its per-network cached floor; the comparisons mirror the
+    scalar drain's inline checks exactly (same inclusive-deadline
+    convention as :class:`DeadlinePolicy`, pinned by the boundary
+    tests).  The order matters: ``EXPIRED`` is checked *before*
+    ``INFEASIBLE`` because mid-batch clock movement (earlier requests in
+    the same drain executing) can push a request past its deadline
+    entirely — it must then report as expired, not merely infeasible.
+    """
+    if deadline_ms - now_ms < 0:
+        return ShedReason.EXPIRED
+    if now_ms + floor_ms > deadline_ms:
+        return ShedReason.INFEASIBLE
+    return None

@@ -1,0 +1,213 @@
+"""Tests for the batched selection plane (SoA Q-core).
+
+Two layers, two contracts:
+
+- :meth:`QTable.select_actions` must equal a ``best_action`` loop on
+  every input shape (no mask, shared mask, per-state mask, degenerate
+  rows) and reject malformed shapes;
+- :meth:`AutoScale.select_action_batch` must be *bit-identical* to
+  calling :meth:`AutoScale.select_action` element-wise — same
+  ``(action, explored)`` pairs AND the same RNG bit-generator state
+  afterwards, across seeds, epsilons, and training/frozen modes.  This
+  is the property the vectorized serving drain's byte-parity rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError, make_rng
+from repro.core.engine import AutoScale
+from repro.core.qlearning import QLearningConfig, QTable
+from repro.env.environment import EdgeCloudEnvironment
+from repro.hardware.devices import build_device
+
+
+class TestQTableSelectActions:
+    def _table(self, seed=3, states=50, actions=9):
+        return QTable(states, actions, seed=seed)
+
+    def test_matches_best_action_unmasked(self):
+        table = self._table()
+        rng = make_rng(7)
+        states = rng.integers(0, table.num_states, size=40)
+        batched = table.select_actions(states)
+        assert batched.tolist() \
+            == [table.best_action(int(s)) for s in states]
+
+    def test_matches_best_action_shared_mask(self):
+        table = self._table()
+        rng = make_rng(8)
+        states = rng.integers(0, table.num_states, size=40)
+        mask = rng.random(table.num_actions) < 0.4
+        batched = table.select_actions(states, allowed=mask)
+        assert batched.tolist() \
+            == [table.best_action(int(s), mask) for s in states]
+
+    def test_matches_best_action_per_state_mask(self):
+        table = self._table()
+        rng = make_rng(9)
+        states = rng.integers(0, table.num_states, size=40)
+        masks = rng.random((40, table.num_actions)) < 0.4
+        batched = table.select_actions(states, allowed=masks)
+        assert batched.tolist() \
+            == [table.best_action(int(s), masks[i])
+                for i, s in enumerate(states)]
+
+    def test_degenerate_rows_fall_back_to_unmasked_argmax(self):
+        """A row with no True entry must degenerate to the unmasked
+        argmax, exactly like ``best_action``'s convention."""
+        table = self._table()
+        states = np.array([0, 1, 2])
+        masks = np.zeros((3, table.num_actions), dtype=bool)
+        masks[1, 4] = True  # only the middle row has a real mask
+        batched = table.select_actions(states, allowed=masks)
+        assert batched[0] == table.best_action(0)
+        assert batched[1] == 4
+        assert batched[2] == table.best_action(2)
+
+    def test_all_false_shared_mask_degenerates_everywhere(self):
+        table = self._table()
+        states = np.array([5, 6, 7])
+        mask = np.zeros(table.num_actions, dtype=bool)
+        batched = table.select_actions(states, allowed=mask)
+        assert batched.tolist() \
+            == [table.best_action(int(s)) for s in states]
+
+    def test_empty_batch(self):
+        table = self._table()
+        assert len(table.select_actions(np.array([], dtype=int))) == 0
+
+    def test_rejects_non_vector_states(self):
+        table = self._table()
+        with pytest.raises(ConfigError):
+            table.select_actions(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_mismatched_mask_shape(self):
+        table = self._table()
+        states = np.array([0, 1, 2])
+        with pytest.raises(ConfigError):
+            table.select_actions(states,
+                                 allowed=np.ones(5, dtype=bool))
+        with pytest.raises(ConfigError):
+            table.select_actions(
+                states, allowed=np.ones((2, table.num_actions),
+                                        dtype=bool))
+
+
+def _engine(seed, epsilon=0.1, training=True):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=seed)
+    engine = AutoScale(env, seed=seed,
+                       config=QLearningConfig(epsilon=epsilon))
+    engine.training = training
+    return engine
+
+
+def _twin_pair(seed, epsilon=0.1, training=True):
+    return (_engine(seed, epsilon, training),
+            _engine(seed, epsilon, training))
+
+
+def _mask_variants(rng, count, num_actions):
+    """The three legal mask shapes plus pathological rows."""
+    per_state = rng.random((count, num_actions)) < 0.5
+    per_state[0, :] = False  # one empty row exercises the fallback
+    return [
+        None,
+        rng.random(num_actions) < 0.5,
+        per_state,
+    ]
+
+
+class TestSelectActionBatchParity:
+    """select_action_batch ≡ element-wise select_action, bit for bit."""
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.9])
+    def test_training_stream_and_decisions_match(self, epsilon):
+        for seed in range(6):
+            batched, scalar = _twin_pair(seed, epsilon=epsilon)
+            rng = make_rng(100 + seed)
+            states = rng.integers(0, batched.qtable.num_states,
+                                  size=32)
+            for mask in _mask_variants(rng, 32,
+                                       batched.qtable.num_actions):
+                expected = [
+                    scalar.select_action(
+                        int(s),
+                        allowed=None if mask is None
+                        else (mask if mask.ndim == 1 else mask[i]))
+                    for i, s in enumerate(states)
+                ]
+                got = batched.select_action_batch(states, allowed=mask)
+                assert got == expected
+                # The load-bearing half: the RNG streams must end in
+                # exactly the same bit-generator state, so anything
+                # drawn *afterwards* is unaffected by the batching.
+                assert batched.rng.bit_generator.state \
+                    == scalar.rng.bit_generator.state
+
+    def test_frozen_visited_and_sibling_paths_match(self):
+        for seed in range(4):
+            batched, scalar = _twin_pair(seed, training=True)
+            # Visit a handful of states so the batch mixes visited
+            # states, unvisited states with trained siblings, and
+            # fully-untrained blocks.
+            trainer_rng = make_rng(50 + seed)
+            for _ in range(40):
+                state = int(trainer_rng.integers(
+                    0, batched.qtable.num_states))
+                action = int(trainer_rng.integers(
+                    0, batched.qtable.num_actions))
+                batched.qtable.update(state, action, -1.0, state)
+                scalar.qtable.update(state, action, -1.0, state)
+            batched.training = scalar.training = False
+            rng = make_rng(60 + seed)
+            states = rng.integers(0, batched.qtable.num_states, size=48)
+            for mask in _mask_variants(rng, 48,
+                                       batched.qtable.num_actions):
+                expected = [
+                    scalar.select_action(
+                        int(s),
+                        allowed=None if mask is None
+                        else (mask if mask.ndim == 1 else mask[i]))
+                    for i, s in enumerate(states)
+                ]
+                got = batched.select_action_batch(states, allowed=mask)
+                assert got == expected
+                assert batched.rng.bit_generator.state \
+                    == scalar.rng.bit_generator.state
+
+    def test_interleaving_batched_and_scalar_is_seamless(self):
+        """A batch call mid-stream must leave the RNG exactly where the
+        equivalent scalar calls would — later scalar draws agree."""
+        batched, scalar = _twin_pair(21)
+        rng = make_rng(77)
+        states = rng.integers(0, batched.qtable.num_states, size=16)
+        batched.select_action_batch(states[:8])
+        for s in states[:8]:
+            scalar.select_action(int(s))
+        for s in states[8:]:
+            assert batched.select_action(int(s)) \
+                == scalar.select_action(int(s))
+
+    def test_empty_batch_draws_nothing(self):
+        engine = _engine(5)
+        before = engine.rng.bit_generator.state
+        assert engine.select_action_batch([]) == []
+        assert engine.rng.bit_generator.state == before
+
+    def test_explore_override_matches_scalar(self):
+        batched, scalar = _twin_pair(9)
+        states = [3, 3, 7]
+        got = batched.select_action_batch(states, explore=False)
+        expected = [scalar.select_action(s, explore=False)
+                    for s in states]
+        assert got == expected
+        assert batched.rng.bit_generator.state \
+            == scalar.rng.bit_generator.state
+
+    def test_rejects_mismatched_mask(self):
+        engine = _engine(4)
+        with pytest.raises(ConfigError):
+            engine.select_action_batch(
+                [1, 2], allowed=np.ones((3, 5), dtype=bool))

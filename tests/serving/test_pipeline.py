@@ -141,18 +141,27 @@ class TestCoalescingParity:
         piped.register(case)
         selections = []
         inner = piped.engine.select_action
+        inner_batch = piped.engine.select_action_batch
 
         def counting(state, explore=None, allowed=None):
             decision = inner(state, explore=explore, allowed=allowed)
             selections.append(decision)
             return decision
 
+        def counting_batch(states, allowed=None, explore=None):
+            decisions = inner_batch(states, allowed=allowed,
+                                    explore=explore)
+            selections.extend(decisions)
+            return decisions
+
         piped.engine.select_action = counting
+        piped.engine.select_action_batch = counting_batch
         config = ServingConfig(queue_capacity=None, shedding=False,
                                brownout=BrownoutConfig.disabled())
         outcomes = ServingPipeline(piped, config).serve(arrivals)
 
-        # Coalescing: ten requests, one Q-table read.
+        # Coalescing: ten requests, one Q-table read — whichever drain
+        # implementation ran, exactly one group decision was made.
         assert len(selections) == 1
         assert len(outcomes) == 10
 
@@ -391,6 +400,9 @@ class TestStaleFeasibilityRefresh:
             == count_observes(direct, ServingConfig.disabled())
 
     def test_late_batch_requests_use_fresh_observations(self, zoo):
+        """The *scalar* drain must re-observe once the clock moves —
+        it is the reference implementation under dynamic scenarios,
+        where a stale sample would hide load/RSSI changes."""
         case = use_case_for(zoo["mobilenet_v3"])
         service = _service(5)
         service.register(case)
@@ -405,7 +417,7 @@ class TestStaleFeasibilityRefresh:
 
         env.estimate_all = tracking
         pipeline = ServingPipeline(service, ServingConfig(
-            brownout=BrownoutConfig.disabled()))
+            brownout=BrownoutConfig.disabled(), vectorized=False))
         pipeline.serve([Arrival(0.0, case.name) for _ in range(6)])
         executed = [t for t in feasibility_times]
         # The first check uses the drain-start sample; once the clock
@@ -413,6 +425,40 @@ class TestStaleFeasibilityRefresh:
         assert executed[0] == 0.0
         later = [t for t in executed[1:] if t > 0.0]
         assert later, "late-batch feasibility checks never refreshed"
+
+    def test_vectorized_drain_sweeps_once_per_network(self, zoo):
+        """The vectorized drain computes one feasibility sweep per
+        distinct network at the drain-start observation — no per-request
+        re-sweeps — while shedding exactly what the scalar drain sheds
+        (value-identical floors under a static scenario)."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        service = _service(5)
+        service.register(case)
+        env = service.environment
+        sweep_times = []
+        inner_estimate_all = env.estimate_all
+
+        def tracking(network, observation, use_cache=True):
+            sweep_times.append(observation.now_ms)
+            return inner_estimate_all(network, observation,
+                                      use_cache=use_cache)
+
+        env.estimate_all = tracking
+        pipeline = ServingPipeline(service, ServingConfig(
+            brownout=BrownoutConfig.disabled()))
+        outcomes = pipeline.serve(
+            [Arrival(0.0, case.name) for _ in range(6)])
+        # One batch of six, one network: exactly one feasibility sweep,
+        # taken at the drain-start instant.
+        assert sweep_times == [0.0]
+
+        twin = _service(5)
+        twin.register(case)
+        reference = ServingPipeline(twin, ServingConfig(
+            brownout=BrownoutConfig.disabled(), vectorized=False,
+        )).serve([Arrival(0.0, case.name) for _ in range(6)])
+        assert [type(o.outcome).__name__ for o in outcomes] \
+            == [type(o.outcome).__name__ for o in reference]
 
 
 class TestBrownout:

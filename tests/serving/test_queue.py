@@ -56,3 +56,30 @@ class TestAdmissionQueue:
             AdmissionQueue(capacity=0)
         with pytest.raises(ConfigError):
             AdmissionQueue().take_batch(0)
+
+    def test_take_batch_from_empty_queue(self):
+        """Draining an empty queue is a no-op, bounded or not."""
+        assert AdmissionQueue(capacity=4).take_batch() == []
+        assert AdmissionQueue(capacity=None).take_batch(16) == []
+
+    def test_take_batch_limit_beyond_depth_pops_everything(self):
+        queue = AdmissionQueue(capacity=8)
+        requests = [_request(at_ms=float(index)) for index in range(3)]
+        for request in requests:
+            queue.admit(request)
+        assert queue.take_batch(64) == requests
+        assert queue.depth == 0
+        # The queue is reusable afterwards.
+        assert queue.admit(_request())
+        assert queue.depth == 1
+
+    def test_take_batch_of_one_preserves_fifo_per_call(self):
+        """``batch_max=1`` is the pinned zero-overload path: each call
+        pops exactly the FIFO head, one at a time, in arrival order."""
+        queue = AdmissionQueue(capacity=8)
+        requests = [_request(at_ms=float(index)) for index in range(4)]
+        for request in requests:
+            queue.admit(request)
+        singles = [queue.take_batch(1) for _ in range(4)]
+        assert singles == [[request] for request in requests]
+        assert queue.take_batch(1) == []

@@ -10,6 +10,7 @@ from repro.serving.shedder import (
     SheddedRequest,
     ShedStats,
     min_feasible_latency_ms,
+    shed_verdict,
 )
 
 
@@ -104,3 +105,45 @@ class TestFeasibilityFloor:
         with pytest.raises(ConfigError):
             min_feasible_latency_ms(_FakeSweep([1.0, 2.0]),
                                     np.array([True]))
+
+    def test_oversized_mask_rejected(self):
+        with pytest.raises(ConfigError):
+            min_feasible_latency_ms(_FakeSweep([1.0, 2.0]),
+                                    np.ones(3, dtype=bool))
+
+    def test_2d_mask_rejected(self):
+        """The floor is per-request scalar; a batched (n, targets)
+        matrix must be rejected, not silently broadcast."""
+        with pytest.raises(ConfigError):
+            min_feasible_latency_ms(_FakeSweep([1.0, 2.0]),
+                                    np.ones((1, 2), dtype=bool))
+
+
+class TestShedVerdict:
+    """The vectorized drain's classifier mirrors the scalar drain's
+    inline checks and the inclusive-deadline convention."""
+
+    def test_servable_inside_budget(self):
+        assert shed_verdict(0.0, 100.0, 50.0) is None
+
+    def test_expired_once_strictly_past_deadline(self):
+        assert shed_verdict(100.1, 100.0, 0.0) is ShedReason.EXPIRED
+
+    def test_at_deadline_is_not_expired(self):
+        # Inclusive deadline: remaining == 0 is still alive; any
+        # positive service floor then overshoots => INFEASIBLE, the
+        # same verdict the scalar drain reaches at this boundary.
+        assert shed_verdict(100.0, 100.0, 0.1) is ShedReason.INFEASIBLE
+        assert shed_verdict(100.0, 100.0, 0.0) is None
+
+    def test_floor_landing_exactly_on_deadline_is_kept(self):
+        assert shed_verdict(40.0, 100.0, 60.0) is None
+
+    def test_floor_one_step_past_deadline_is_infeasible(self):
+        assert shed_verdict(40.0, 100.0, 60.5) is ShedReason.INFEASIBLE
+
+    def test_expired_takes_precedence_over_infeasible(self):
+        # Past the deadline both conditions hold; the verdict must be
+        # EXPIRED — mid-batch clock movement can convert a drain-start
+        # infeasible into an expired, and the ledger must say which.
+        assert shed_verdict(200.0, 100.0, 50.0) is ShedReason.EXPIRED

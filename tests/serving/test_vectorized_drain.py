@@ -1,0 +1,254 @@
+"""Bit-parity of the vectorized (SoA) drain against the scalar drain.
+
+The acceptance property of the vectorized decision plane: with
+``vectorized=True`` (the default) every observable — outcome
+measurements, trace rows, Q-table bytes, visit counts, both RNG
+streams' bit-generator states, the virtual clock, and the shed ledger —
+is byte-equal to a twin run forced onto the scalar reference drain with
+``vectorized=False``.  Each scenario below targets one branch of the
+vectorized sweep: lazy training selection, the frozen batched-argmax
+prefill, brownout/nominal selection, multi-network batches, and
+mid-batch expiry.
+
+The use-case-keyed coalescing regression (two use cases sharing a
+(network, state) bucket under brownout) is pinned here too, for both
+drain implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.service import AutoScaleService
+from repro.env.environment import EdgeCloudEnvironment
+from repro.env.qos import UseCase, use_case_for
+from repro.hardware.devices import build_device
+from repro.models.quantization import Precision
+from repro.serving.arrivals import Arrival, PoissonArrivals
+from repro.serving.brownout import BrownoutConfig
+from repro.serving.pipeline import ServingConfig, ServingPipeline
+from repro.serving.shedder import DeadlinePolicy
+
+
+def _service(seed):
+    env = EdgeCloudEnvironment(build_device("mi8pro"), scenario="S1",
+                               seed=seed)
+    return AutoScaleService(env, seed=seed)
+
+
+def _outcome_signature(outcome):
+    signature = (type(outcome).__name__, outcome.latency_ms,
+                 outcome.energy_mj, outcome.target_key)
+    if outcome.shed:
+        signature += (outcome.reason.value, outcome.shed_at_ms,
+                      outcome.deadline_ms, outcome.queue_delay_ms)
+    return signature
+
+
+def _run(vectorized, seed, cases, arrivals, config, learning=True,
+         pretrain=0):
+    service = _service(seed)
+    for case in cases:
+        service.register(case)
+    if pretrain:
+        for case in cases:
+            service.engine.run(case, pretrain)
+        service.environment.reset()
+    if not learning:
+        service.set_learning(False)
+    pipeline = ServingPipeline(
+        service, ServingConfig(**{**config, "vectorized": vectorized}))
+    outcomes = pipeline.serve(list(arrivals))
+    return service, pipeline, outcomes
+
+
+def _assert_bit_identical(fast, reference):
+    service_a, pipeline_a, outcomes_a = fast
+    service_b, pipeline_b, outcomes_b = reference
+    assert len(outcomes_a) == len(outcomes_b)
+    for a, b in zip(outcomes_a, outcomes_b):
+        assert _outcome_signature(a.outcome) \
+            == _outcome_signature(b.outcome)
+        assert (a.queue_delay_ms, a.tier) == (b.queue_delay_ms, b.tier)
+    assert list(service_a.trace.records) == list(service_b.trace.records)
+    table_a, table_b = service_a.engine.qtable, service_b.engine.qtable
+    assert table_a.values.tobytes() == table_b.values.tobytes()
+    assert (table_a.visits == table_b.visits).all()
+    assert table_a.update_count == table_b.update_count
+    assert service_a.engine.rng.bit_generator.state \
+        == service_b.engine.rng.bit_generator.state
+    assert service_a.environment.rng.bit_generator.state \
+        == service_b.environment.rng.bit_generator.state
+    assert service_a.environment.clock.now_ms \
+        == service_b.environment.clock.now_ms
+    assert pipeline_a.shed_stats.as_dict() \
+        == pipeline_b.shed_stats.as_dict()
+
+
+def _parity(seed, cases_of, arrivals_of, config, learning=True,
+            pretrain=0):
+    runs = [
+        _run(vectorized, seed, cases_of(), arrivals_of(), config,
+             learning=learning, pretrain=pretrain)
+        for vectorized in (True, False)
+    ]
+    return runs[0], runs[1]
+
+
+class TestDrainParity:
+    def test_training_overload_burst(self, zoo):
+        """Training keeps selection lazy per group; a hopeless burst
+        mixes serves with EXPIRED and INFEASIBLE sheds mid-batch."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        fast, reference = _parity(
+            11,
+            lambda: [case],
+            lambda: [Arrival(0.0, case.name) for _ in range(60)],
+            dict(brownout=BrownoutConfig.disabled()),
+        )
+        assert fast[1].shed_stats.total_sheds > 0
+        _assert_bit_identical(fast, reference)
+
+    def test_training_epsilon_explorations_replay_exactly(self, zoo):
+        """A multi-drain stream with exploration on: the optimistic
+        rollback must land every epsilon draw where the scalar
+        interleave puts it."""
+        case = use_case_for(zoo["mobilenet_v3"])
+
+        def arrivals():
+            return PoissonArrivals(case.name, arrivals_per_s=5.0) \
+                .generate(30_000.0, np.random.default_rng(3))
+
+        fast, reference = _parity(
+            13,
+            lambda: [case],
+            arrivals,
+            dict(queue_capacity=None,
+                 deadline=DeadlinePolicy(qos_factor=50.0),
+                 brownout=BrownoutConfig.disabled()),
+        )
+        assert any(record.explored
+                   for record in reference[0].trace.records)
+        _assert_bit_identical(fast, reference)
+
+    def test_frozen_engine_uses_batched_argmax(self, zoo):
+        """Frozen serving takes the upfront select_action_batch path —
+        and must still match the scalar drain byte for byte."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        fast, reference = _parity(
+            17,
+            lambda: [case],
+            lambda: [Arrival(0.0, case.name) for _ in range(40)],
+            dict(queue_capacity=None,
+                 deadline=DeadlinePolicy(qos_factor=200.0),
+                 brownout=BrownoutConfig.disabled()),
+            learning=False,
+            pretrain=30,
+        )
+        _assert_bit_identical(fast, reference)
+
+    def test_brownout_tiers_match(self, zoo):
+        """Escalated tiers route through the nominal-cost selection in
+        both drains."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        fast, reference = _parity(
+            23,
+            lambda: [case],
+            lambda: [Arrival(0.0, case.name) for _ in range(30)],
+            dict(queue_capacity=None,
+                 deadline=DeadlinePolicy(qos_factor=100.0)),
+        )
+        assert reference[1].brownout.escalations >= 1
+        _assert_bit_identical(fast, reference)
+
+    def test_multi_network_batches(self, zoo):
+        """Heterogeneous batches: three networks interleaved at the
+        same instants — per-network floors, states, and coalescing
+        groups all diverge inside one drain."""
+        def cases():
+            return [use_case_for(zoo["mobilenet_v3"]),
+                    use_case_for(zoo["resnet_50"]),
+                    use_case_for(zoo["mobilebert"])]
+
+        def arrivals():
+            names = [case.name for case in cases()]
+            return [Arrival(200.0 * burst, names[index % 3])
+                    for burst in range(6)
+                    for index in range(9)]
+
+        fast, reference = _parity(
+            29,
+            cases,
+            arrivals,
+            dict(queue_capacity=None,
+                 deadline=DeadlinePolicy(qos_factor=30.0),
+                 brownout=BrownoutConfig.disabled()),
+        )
+        _assert_bit_identical(fast, reference)
+
+    def test_batch_max_one_stays_pinned(self, zoo):
+        """The pinned zero-overload path: batch_max=1 must serve
+        identically on both drains (and never shed under no load)."""
+        case = use_case_for(zoo["mobilenet_v3"])
+        fast, reference = _parity(
+            31,
+            lambda: [case],
+            lambda: [Arrival(30_000.0 * index, case.name)
+                     for index in range(10)],
+            dict(batch_max=1),
+        )
+        assert fast[1].shed_stats.total_sheds == 0
+        _assert_bit_identical(fast, reference)
+
+
+class TestUseCaseKeyedCoalescing:
+    """Regression: shadow/brownout selections depend on the use case's
+    QoS budget, so the drain's coalescing key must include the use-case
+    name on those branches — two use cases sharing one (network, state)
+    bucket must each get *their own* degraded action."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_browned_bucket_not_shared_across_use_cases(self, zoo,
+                                                        vectorized):
+        network = zoo["mobilenet_v3"]
+        probe = _service(41)
+        env = probe.environment
+        observation = env.observe()
+        sweep = env.estimate_all(network, observation)
+        latencies = np.asarray(sweep.latency_ms)
+        energies = np.asarray(sweep.energy_mj)
+        space = probe.engine.action_space
+        int8 = np.flatnonzero(np.array(
+            [target.precision is Precision.INT8 for target in space],
+            dtype=bool))
+        cheapest = int(int8[np.argmin(energies[int8])])
+        fastest_ms = float(latencies[int8].min())
+        assert latencies[cheapest] > fastest_ms, \
+            "need a cheapest-but-not-fastest INT8 target for this probe"
+        # A budget between the fastest INT8 latency and the cheapest
+        # INT8 target's latency: 'tight' must be steered away from the
+        # global cheapest, 'loose' must land exactly on it.
+        tight_ms = (fastest_ms + float(latencies[cheapest])) / 2.0
+        fits = int8[latencies[int8] <= tight_ms]
+        expected_tight = int(fits[np.argmin(energies[fits])])
+        assert expected_tight != cheapest
+
+        loose = UseCase(name="loose", network=network, qos_ms=1e6)
+        tight = UseCase(name="tight", network=network, qos_ms=tight_ms)
+        service = _service(41)
+        service.register(loose)
+        service.register(tight)
+        pipeline = ServingPipeline(service, ServingConfig(
+            queue_capacity=None, shedding=False,
+            brownout=BrownoutConfig(enter_depth=1, exit_depth=0),
+            vectorized=vectorized,
+        ))
+        # 'loose' sorts first, so it seeds the (network, state) bucket;
+        # before the fix 'tight' inherited its action.
+        pipeline.serve([Arrival(0.0, loose.name),
+                        Arrival(0.0, tight.name)])
+        by_name = {record.use_case: record
+                   for record in service.trace.records}
+        assert by_name["loose"].tier == "reduced_precision"
+        assert by_name["loose"].target_key == space.target(cheapest).key
+        assert by_name["tight"].target_key \
+            == space.target(expected_tight).key
